@@ -1,0 +1,86 @@
+"""CLAIM-CHAIN: accelerator chaining (Section 4.3).
+
+"chaining together different accelerator modules for building longer
+complex processing pipelines ... will substantially increase the amount
+of processing that is carried out per unit of transferred data and will
+consequently result in substantial energy savings."
+
+Shape: DRAM traffic is flat in chain length when chained vs linear when
+unchained; the energy saving grows with chain length.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import Worker
+from repro.core.middleware import AcceleratorChain
+from repro.fabric import ModuleLibrary
+from repro.hls import HlsTool, SynthesisConstraints, saxpy_kernel
+from repro.sim import Simulator
+
+ITEMS = 8192
+BYTES_PER_ITEM = 8
+
+
+def _module():
+    library = ModuleLibrary()
+    HlsTool().compile(saxpy_kernel(ITEMS), library, SynthesisConstraints(max_variants=1))
+    return library.best_variant("saxpy")
+
+
+MODULE = _module()
+
+
+def chain_sweep(lengths):
+    worker = Worker(Simulator(), 0)
+    rows = []
+    for n in lengths:
+        chain = AcceleratorChain(worker, [MODULE] * n)
+        chained = chain.cost_chained(ITEMS, BYTES_PER_ITEM)
+        unchained = chain.cost_unchained(ITEMS, BYTES_PER_ITEM)
+        rows.append(
+            {
+                "stages": n,
+                "chained_dram": chained.dram_bytes,
+                "unchained_dram": unchained.dram_bytes,
+                "chained_energy": chained.energy_pj,
+                "unchained_energy": unchained.energy_pj,
+                "saving": 1.0 - chained.energy_pj / unchained.energy_pj,
+            }
+        )
+    return rows
+
+
+def test_claim_chaining_traffic_and_energy(benchmark):
+    rows = benchmark(chain_sweep, [1, 2, 3, 4, 6, 8])
+    print_table(
+        "CLAIM-CHAIN: pipeline composition vs DRAM round-trips",
+        ["stages", "chained DRAM (B)", "unchained DRAM (B)", "energy saving"],
+        [
+            (r["stages"], r["chained_dram"], r["unchained_dram"],
+             f"{r['saving']:.0%}")
+            for r in rows
+        ],
+    )
+    # chained DRAM traffic is constant; unchained grows linearly
+    assert len({r["chained_dram"] for r in rows}) == 1
+    unchained = [r["unchained_dram"] for r in rows]
+    assert unchained[-1] == rows[-1]["stages"] * unchained[0]
+    # the saving grows with chain length and is substantial
+    savings = [r["saving"] for r in rows]
+    assert savings == sorted(savings)
+    assert savings[-1] > 0.3
+
+
+def test_claim_chaining_processing_per_byte(benchmark):
+    rows = benchmark(chain_sweep, [1, 4, 8])
+    ppb = [
+        r["stages"] / r["chained_dram"] * 1e6 for r in rows
+    ]  # stages per MB moved
+    print_table(
+        "CLAIM-CHAIN: processing per byte of DRAM traffic",
+        ["stages", "stage-passes per MB"],
+        list(zip((r["stages"] for r in rows), ppb)),
+    )
+    assert ppb == sorted(ppb)
+    assert ppb[-1] / ppb[0] == pytest.approx(8.0)

@@ -1,0 +1,73 @@
+"""CLAIM-COMPRESS: configuration-data compression (Section 4.3 / [11]).
+
+"By minimizing module bounding boxes and by using configuration data
+compression, we will reduce memory requirements, configuration latency
+and configuration power consumption at the same time."
+
+The bench sweeps module density (floorplanner fill fraction) and
+measures all three quantities with the real RLE coder and the modelled
+configuration port -- all three must fall together, proportionally to the
+achieved compression ratio.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.fabric import Bitstream, ConfigPort
+
+PORT = ConfigPort()
+FRAMES = 120
+
+
+def compression_row(fill):
+    raw = Bitstream.synthesize(f"m{fill}", FRAMES, fill_fraction=fill, seed=7)
+    comp = raw.compress()
+    return {
+        "fill": fill,
+        "ratio": comp.compression_ratio,
+        "raw_bytes": raw.size_bytes,
+        "comp_bytes": comp.size_bytes,
+        "raw_latency_ns": PORT.load_ns(raw),
+        "comp_latency_ns": PORT.load_ns(comp),
+        "raw_energy_pj": PORT.load_energy_pj(raw),
+        "comp_energy_pj": PORT.load_energy_pj(comp),
+    }
+
+
+def test_claim_compression_triple_win(benchmark):
+    fills = [0.05, 0.2, 0.4, 0.6, 0.8, 0.95]
+    rows = benchmark(lambda: [compression_row(f) for f in fills])
+    print_table(
+        "CLAIM-COMPRESS: RLE config compression vs module density",
+        ["fill", "ratio", "memory (B)", "latency (ns)", "energy (pJ)"],
+        [
+            (r["fill"], r["ratio"], r["comp_bytes"], r["comp_latency_ns"],
+             r["comp_energy_pj"])
+            for r in rows
+        ],
+    )
+    for r in rows:
+        # the triple win, whenever compression wins at all
+        if r["ratio"] > 1.1:
+            assert r["comp_bytes"] < r["raw_bytes"]
+            assert r["comp_latency_ns"] < r["raw_latency_ns"]
+            assert r["comp_energy_pj"] < r["raw_energy_pj"]
+    # sparser modules compress (much) better
+    ratios = [r["ratio"] for r in rows]
+    assert ratios == sorted(ratios, reverse=True)
+    assert ratios[0] > 5.0
+
+
+def test_claim_compression_latency_tracks_ratio(benchmark):
+    row = benchmark(compression_row, 0.1)
+    # latency reduction ~ compression ratio (minus decompressor fill)
+    speedup = row["raw_latency_ns"] / row["comp_latency_ns"]
+    assert speedup == pytest.approx(row["ratio"], rel=0.15)
+
+
+def test_claim_compression_lossless(benchmark):
+    def roundtrip():
+        raw = Bitstream.synthesize("m", 60, 0.3, seed=3)
+        return raw.compress().decompress().data == raw.data
+
+    assert benchmark(roundtrip)

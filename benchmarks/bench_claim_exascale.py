@@ -1,0 +1,62 @@
+"""CLAIM-GW: the Section 1 power extrapolation.
+
+"Extrapolating from the top HPC systems, such as China's Tianhe-2
+Supercomputer, we estimate that sustaining exaflop performance requires
+an enormous 1 GW power.  Similar, albeit smaller, figures are obtained by
+extrapolating even the best system of the Green 500 list."
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.energy import (
+    GREEN500_2015_LEADER,
+    TIANHE2,
+    efficiency_required_for,
+    extrapolate_power_mw,
+)
+from repro.energy.exascale import EXAFLOP, speedup_needed
+
+
+def run_extrapolation():
+    rows = []
+    for ref in (TIANHE2, GREEN500_2015_LEADER):
+        rows.append(
+            (
+                ref.name,
+                ref.gflops_per_watt,
+                speedup_needed(ref),
+                extrapolate_power_mw(ref),
+            )
+        )
+    return rows
+
+
+def test_claim_exascale_power_wall(benchmark):
+    rows = benchmark(run_extrapolation)
+    print_table(
+        "CLAIM-GW: exaflop power extrapolation",
+        ["reference", "GFLOPS/W", "scale-up", "exaflop power (MW)"],
+        rows,
+    )
+    tianhe_mw = rows[0][3]
+    green_mw = rows[1][3]
+    assert 700 <= tianhe_mw <= 1300          # "an enormous 1 GW"
+    assert green_mw < tianhe_mw              # "similar, albeit smaller"
+    assert green_mw > 100                    # still wildly infeasible
+
+
+def test_claim_exascale_efficiency_gap(benchmark):
+    required = benchmark(efficiency_required_for, EXAFLOP, 20.0)
+    print_table(
+        "CLAIM-GW: efficiency needed for a 20 MW exaflop",
+        ["metric", "GFLOPS/W"],
+        [
+            ("required", required),
+            ("Tianhe-2 delivered", TIANHE2.gflops_per_watt),
+            ("Green500 2015 best", GREEN500_2015_LEADER.gflops_per_watt),
+        ],
+    )
+    # the gap motivating reconfigurable acceleration: >5x beyond the most
+    # efficient machine of the paper's era
+    assert required / GREEN500_2015_LEADER.gflops_per_watt > 5

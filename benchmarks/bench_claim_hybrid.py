@@ -1,0 +1,147 @@
+"""CLAIM-PGAS: hybrid MPI+PGAS programming (Section 2 / [5]).
+
+"It is widely believed that a hybrid flexible MPI+PGAS programming model
+is an efficient choice for many scientific computing problems and for
+achieving exascale computing."  "PGAS is used for efficient
+intra-partition communication ... MPI can also be used for efficient
+inter-PGAS communication" (since "PGAS and related task scheduling
+algorithms have important scaling problems").
+
+The bench runs one halo-exchange sweep of a 2-D stencil on a 4-node x
+8-worker machine under three models:
+
+- pure-PGAS: every halo is fine-grained loads/stores, even across nodes;
+- pure-MPI: every halo is an MPI message, even between siblings;
+- hybrid: PGAS (loads/stores) inside a node, MPI between nodes.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import ComputeNode, ComputeNodeParams, Machine, MachineParams
+from repro.interconnect import Message, TransactionType
+from repro.mpi import CartTopology
+from repro.sim import Simulator
+
+NODES = 4
+WORKERS_PER_NODE = 8
+HALO_BYTES = 2048
+#: per-message software overhead of the MPI stack (matching, tags, CRC)
+MPI_SW_OVERHEAD_NS = 900.0
+#: fine-grained PGAS access: one 64B load/store burst at a time
+PGAS_BURST = 64
+
+
+def build_machine():
+    return Machine(
+        Simulator(),
+        MachineParams(
+            num_nodes=NODES,
+            node=ComputeNodeParams(num_workers=WORKERS_PER_NODE),
+            inter_node_fanouts=[NODES],
+        ),
+    )
+
+
+def halo_cost(machine, model):
+    """Total (latency-sum, energy) of one global halo exchange."""
+    total_workers = NODES * WORKERS_PER_NODE
+    cart = CartTopology((NODES, WORKERS_PER_NODE), periodic=(False, True))
+    latency = energy = 0.0
+    messages = 0
+    for rank in range(total_workers):
+        node_a, w_a = divmod(rank, WORKERS_PER_NODE)
+        for nb in cart.neighbours(rank):
+            node_b, w_b = divmod(nb, WORKERS_PER_NODE)
+            intra = node_a == node_b
+            if model == "pgas" or (model == "hybrid" and intra):
+                # fine-grained loads/stores: burst-granular, header each;
+                # cross-node PGAS suffers per-burst long-haul latency.
+                bursts = HALO_BYTES // PGAS_BURST
+                if intra:
+                    lat, e = machine.nodes[node_a].transfer_cost(
+                        w_a, w_b, HALO_BYTES, TransactionType.STORE
+                    )
+                    # header overhead per burst
+                    lat += bursts * 2.0
+                else:
+                    # blocking fine-grained loads across the long haul:
+                    # every burst pays the full inter-node round trip
+                    per_burst, e1 = _inter_cost(machine, node_a, node_b, PGAS_BURST)
+                    lat = bursts * per_burst
+                    e = e1 * bursts
+                latency += lat
+                energy += e
+                messages += bursts
+            else:
+                # MPI message: software overhead + bulk transfer
+                if intra:
+                    lat, e = machine.nodes[node_a].transfer_cost(
+                        w_a, w_b, HALO_BYTES, TransactionType.MPI
+                    )
+                else:
+                    lat, e = _inter_cost(machine, node_a, node_b, HALO_BYTES)
+                latency += lat + MPI_SW_OVERHEAD_NS
+                energy += e
+                messages += 1
+    return {"latency_ns": latency, "energy_pj": energy, "messages": messages}
+
+
+def _inter_cost(machine, node_a, node_b, size):
+    msg = Message(
+        machine.node_endpoints[node_a],
+        machine.node_endpoints[node_b],
+        size,
+        TransactionType.MPI,
+    )
+    return machine.inter_network.send_cost(msg)
+
+
+def test_claim_hybrid_beats_both_pure_models(benchmark):
+    def run():
+        return {
+            model: halo_cost(build_machine(), model)
+            for model in ("pgas", "mpi", "hybrid")
+        }
+
+    results = benchmark(run)
+    rows = [
+        (m, r["latency_ns"] / 1e6, r["energy_pj"] / 1e6, r["messages"])
+        for m, r in results.items()
+    ]
+    print_table(
+        "CLAIM-PGAS: one global halo exchange, 32 workers / 4 nodes",
+        ["model", "sum latency (ms)", "energy (uJ)", "messages"],
+        rows,
+    )
+    hybrid = results["hybrid"]["latency_ns"]
+    assert hybrid < results["pgas"]["latency_ns"]   # PGAS dies cross-node
+    assert hybrid < results["mpi"]["latency_ns"]    # MPI overhead intra-node
+
+
+def test_claim_hybrid_pgas_wins_small_messages(benchmark):
+    """Intra-node: fine-grained PGAS beats MPI for small payloads and
+    loses for bulk -- the reason both are needed."""
+
+    def run():
+        machine = build_machine()
+        node = machine.nodes[0]
+        rows = []
+        for size in (8, 64, 512, 4096, 65536):
+            pgas_lat, _ = node.transfer_cost(0, 1, size, TransactionType.STORE)
+            pgas_lat += 2.0 * max(1, size // PGAS_BURST)
+            mpi_lat, _ = node.transfer_cost(0, 1, size, TransactionType.MPI)
+            mpi_lat += MPI_SW_OVERHEAD_NS
+            rows.append((size, pgas_lat, mpi_lat))
+        return rows
+
+    rows = benchmark(run)
+    print_table(
+        "CLAIM-PGAS: intra-node transfer, PGAS store vs MPI send",
+        ["bytes", "PGAS (ns)", "MPI (ns)"],
+        rows,
+    )
+    assert rows[0][1] < rows[0][2]        # 8B: PGAS wins big
+    small_win = rows[0][2] / rows[0][1]
+    big_win = rows[-1][2] / rows[-1][1]
+    assert small_win > big_win            # advantage shrinks with size

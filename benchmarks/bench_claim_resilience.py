@@ -1,0 +1,158 @@
+"""CLAIM-RESIL: resilience through reconfiguration (Section 2).
+
+"To further increase energy efficiency, as well as to provide
+resilience, the Workers employ reconfigurable accelerators."
+
+The bench kills regions (and a whole Worker's fabric) mid-service and
+measures time-to-recover and continuity: the function keeps being
+servable domain-wide because UNILOGIC lets the reload land anywhere.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import (
+    ComputeNode,
+    ComputeNodeParams,
+    FaultInjector,
+    RecoveryManager,
+    UnilogicDomain,
+)
+from repro.fabric import ModuleLibrary
+from repro.hls import HlsTool, SynthesisConstraints, saxpy_kernel
+from repro.sim import Simulator, spawn
+
+
+def _library():
+    lib = ModuleLibrary()
+    HlsTool().compile(saxpy_kernel(1024), lib, SynthesisConstraints(max_variants=1))
+    return lib
+
+
+LIBRARY = _library()
+
+
+def run_fault_scenario(worker_fault: bool, check_period_ns=10_000.0):
+    sim = Simulator()
+    node = ComputeNode(sim, ComputeNodeParams(num_workers=4))
+    unilogic = UnilogicDomain(node)
+    injector = FaultInjector(node)
+    manager = RecoveryManager(node, unilogic, LIBRARY, injector, check_period_ns)
+    module = LIBRARY.best_variant("saxpy")
+    served = {"before": 0, "after": 0}
+
+    def scenario():
+        region = yield from node.worker(0).load_module(module)
+        yield from unilogic.invoke("saxpy", 1, 512)
+        served["before"] += 1
+        if worker_fault:
+            injector.inject_worker_fault(0)
+        else:
+            injector.inject_region_fault(0, region.region_id)
+
+    spawn(sim, scenario())
+    mgr_proc = spawn(sim, manager.run())
+    sim.run(until=200_000.0)
+    manager.stop()
+
+    # service continuity: the function is callable again after recovery
+    def post_check():
+        yield from unilogic.invoke("saxpy", 2, 512)
+        served["after"] += 1
+
+    spawn(sim, post_check())
+    sim.run()
+    record = next(r for r in injector.records if r.function == "saxpy")
+    return {
+        "recovery_ns": record.recovery_ns,
+        "recovery_worker": record.recovery_worker,
+        "served_after": served["after"],
+    }
+
+
+def test_claim_resilience_region_fault(benchmark):
+    result = benchmark(run_fault_scenario, False)
+    print_table(
+        "CLAIM-RESIL: single region fault",
+        ["metric", "value"],
+        [
+            ("time to recover (us)", result["recovery_ns"] / 1000),
+            ("recovered on worker", result["recovery_worker"]),
+            ("service restored", result["served_after"] == 1),
+        ],
+    )
+    assert result["recovery_ns"] is not None
+    assert result["recovery_worker"] == 0  # sibling region, same worker
+    assert result["served_after"] == 1
+
+
+def test_claim_resilience_whole_worker_fault(benchmark):
+    result = benchmark(run_fault_scenario, True)
+    print_table(
+        "CLAIM-RESIL: whole-worker fabric fault",
+        ["metric", "value"],
+        [
+            ("time to recover (us)", result["recovery_ns"] / 1000),
+            ("recovered on worker", result["recovery_worker"]),
+            ("service restored", result["served_after"] == 1),
+        ],
+    )
+    assert result["recovery_worker"] != 0  # migrated across the domain
+    assert result["served_after"] == 1
+
+
+def test_claim_resilience_scrubber_detection_latency(benchmark):
+    """SEU detection by configuration readback: detection latency is set
+    by scrub bandwidth (full-fabric sweep time), the textbook relation."""
+    from repro.fabric import ConfigScrubber
+    from repro.core import ComputeNode, ComputeNodeParams
+
+    def sweep():
+        rows = []
+        for bw in (0.1, 0.4, 1.6):
+            sim = Simulator()
+            node = ComputeNode(sim, ComputeNodeParams(num_workers=1))
+            module = LIBRARY.best_variant("saxpy")
+            out = {}
+
+            def flow():
+                region = yield from node.worker(0).load_module(module)
+                scrub = ConfigScrubber(sim, node.worker(0).fabric,
+                                       readback_bandwidth_gbps=bw)
+                rec = scrub.inject_upset(region.region_id,
+                                         frame=module.bitstream.frames - 1)
+                yield from scrub.scrub_pass()
+                out["detect_ns"] = rec.detection_ns
+
+            spawn(sim, flow())
+            sim.run()
+            rows.append((bw, out["detect_ns"] / 1000))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "CLAIM-RESIL: SEU detection latency vs readback bandwidth",
+        ["readback (GB/s)", "worst-frame detection (us)"],
+        rows,
+    )
+    latencies = [t for _, t in rows]
+    assert latencies == sorted(latencies, reverse=True)  # more bw, faster
+    assert latencies[0] / latencies[-1] == pytest.approx(16.0, rel=0.05)
+
+
+def test_claim_resilience_detection_period_bounds_recovery(benchmark):
+    def sweep():
+        rows = []
+        for period in (5_000.0, 20_000.0, 80_000.0):
+            r = run_fault_scenario(False, check_period_ns=period)
+            rows.append((period / 1000, r["recovery_ns"] / 1000))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "CLAIM-RESIL: recovery time vs detection period",
+        ["check period (us)", "recovery (us)"],
+        rows,
+    )
+    times = [t for _, t in rows]
+    assert times == sorted(times)  # slower detection, slower recovery

@@ -1,0 +1,153 @@
+"""FIG1: hierarchical application partitioning (paper Fig. 1, Section 2).
+
+Regenerates the figure's claim as numbers: a halo-exchange workload
+mapped hierarchically onto the machine tree moves far less hop-weighted
+traffic and energy than locality-oblivious mappings, the advantage grows
+with machine scale, and deeper (larger) machines push the maximum hop
+distance from ~5 toward 6-7 -- exactly the Section 2 narrative.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.apps import (
+    block_mapping,
+    communication_bytes,
+    cyclic_mapping,
+    decompose_grid,
+    halo_pairs,
+    random_mapping,
+)
+from repro.core import ComputeNodeParams, Machine, MachineParams
+from repro.interconnect import build_dragonfly, build_slimfly_like, build_tree
+from repro.sim import Simulator
+
+GRID = 256
+
+
+def run_partitioning_experiment(fanouts, subdomains_per_worker=4):
+    sim = Simulator()
+    network, workers = build_tree(sim, fanouts)
+    n_sub = len(workers) * subdomains_per_worker
+    decomp = decompose_grid(GRID, n_sub)
+    pairs = halo_pairs(decomp)
+    out = {}
+    for label, mapping in (
+        ("hierarchical", block_mapping(n_sub, workers)),
+        ("cyclic", cyclic_mapping(n_sub, workers)),
+        ("random", random_mapping(n_sub, workers, seed=1)),
+    ):
+        out[label] = communication_bytes(pairs, mapping, network, rounds=10)
+    return out
+
+
+def test_fig1_hierarchical_vs_flat(benchmark):
+    results = benchmark(run_partitioning_experiment, [4, 4])
+    rows = [
+        (label, m["link_bytes"], m["energy_pj"] / 1e6, m["mean_hops"], m["local_pairs"])
+        for label, m in results.items()
+    ]
+    print_table(
+        "FIG1: 16 workers, mapping comparison",
+        ["mapping", "link-bytes", "energy (uJ)", "mean hops", "local pairs"],
+        rows,
+    )
+    hier, cyc, rnd = results["hierarchical"], results["cyclic"], results["random"]
+    assert hier["link_bytes"] < cyc["link_bytes"]
+    assert hier["link_bytes"] < rnd["link_bytes"]
+    assert hier["energy_pj"] < cyc["energy_pj"]
+    assert hier["local_pairs"] > cyc["local_pairs"]
+
+
+def test_fig1_gap_grows_with_scale(benchmark):
+    def sweep():
+        out = []
+        for fanouts in ([2, 2], [4, 4], [4, 4, 4]):
+            res = run_partitioning_experiment(fanouts)
+            hier = res["hierarchical"]["energy_pj"]
+            rnd = res["random"]["energy_pj"]
+            out.append(("x".join(map(str, fanouts)), rnd / hier, rnd - hier))
+        return out
+
+    rows = benchmark(sweep)
+    print_table("FIG1: locality advantage vs machine size",
+                ["machine", "random/hierarchical energy", "gap (pJ)"], rows)
+    ratios = [r for _, r, _ in rows]
+    gaps = [g for _, _, g in rows]
+    assert all(r > 1.5 for r in ratios)      # hierarchical always wins big
+    assert gaps == sorted(gaps)              # absolute saving grows with scale
+
+
+def test_fig1_high_radix_topologies(benchmark):
+    """Section 2 names Dragonfly and SlimFly as the high-radix targets of
+    hierarchical/topological partitioning.  Same 52-worker halo workload
+    on a tree, a dragonfly and a slimfly-like fabric: the high-radix
+    graphs buy a smaller diameter (fewer worst-case hops) while the tree
+    keeps neighbour traffic on its cheap leaf links."""
+
+    def run():
+        rows = []
+        n_sub = 104  # 2 subdomains per worker
+        decomp = decompose_grid(GRID, n_sub)
+        pairs = halo_pairs(decomp)
+        builders = [
+            # trees must go deep to reach scale: 3 levels for 52 leaves
+            ("tree 2x2x13", lambda s: build_tree(s, [2, 2, 13])),
+            ("dragonfly", lambda s: build_dragonfly(s, groups=4, routers_per_group=13,
+                                                    workers_per_router=1)),
+            ("slimfly", lambda s: build_slimfly_like(s, q=13, workers_per_router=4)),
+        ]
+        for label, build in builders:
+            sim = Simulator()
+            net, workers = build(sim)
+            workers = workers[:52]
+            mapping = block_mapping(n_sub, workers)
+            metrics = communication_bytes(pairs, mapping, net, rounds=5)
+            rows.append(
+                (label, len(workers), net.diameter_hops(workers),
+                 metrics["mean_hops"], metrics["energy_pj"] / 1e6)
+            )
+        return rows
+
+    rows = benchmark(run)
+    print_table(
+        "FIG1: block-mapped halo exchange on named topologies (52 workers)",
+        ["topology", "workers", "diameter", "mean hops", "energy (uJ)"],
+        rows,
+    )
+    by_label = {r[0]: r for r in rows}
+    # high-radix graphs: smaller diameter than the depth the tree needs
+    assert by_label["dragonfly"][2] < by_label["tree 2x2x13"][2]
+    assert by_label["slimfly"][2] < by_label["tree 2x2x13"][2]
+    # every topology keeps most block-mapped neighbour traffic short
+    for _, __, ___, mean_hops, ____ in rows:
+        assert mean_hops < 4.0
+
+
+def test_fig1_hop_distance_petascale_to_exascale(benchmark):
+    """Section 2: petascale ~5 hops max, exascale 6-7."""
+
+    def sweep():
+        rows = []
+        for label, nodes, fanouts, wpn, intra in (
+            ("petascale-ish", 4, [4], 8, 4),
+            ("pre-exascale", 16, [4, 4], 8, 4),
+            ("exascale-ish", 64, [4, 4, 4], 8, 4),
+        ):
+            machine = Machine(
+                Simulator(),
+                MachineParams(
+                    num_nodes=nodes,
+                    node=ComputeNodeParams(num_workers=wpn, intra_fanout=intra),
+                    inter_node_fanouts=fanouts,
+                ),
+            )
+            rows.append((label, machine.total_workers, machine.max_hop_distance()))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table("FIG1: max hop distance vs scale",
+                ["machine", "workers", "max hops"], rows)
+    hops = [h for _, _, h in rows]
+    assert hops == sorted(hops)
+    assert hops[0] >= 4 and hops[-1] >= 6  # petascale ~5 -> exascale 6-7

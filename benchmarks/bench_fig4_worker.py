@@ -1,0 +1,137 @@
+"""FIG4: the Worker datapath (paper Fig. 4, Section 4.1).
+
+Three asymmetries drawn in the block diagram are measured:
+
+1. **ACE vs ACE-lite**: a local accelerator caches its data coherently; a
+   remote Reconfigurable block "should disable its data cache (and would
+   not be as efficient as a local one)" -- the gap grows with data reuse.
+2. **User-level vs OS-mediated access**: the dual-stage SMMU removes the
+   per-call OS trap; the win grows as calls get smaller.
+3. **Dual-stage translation overhead**: nested translation costs two
+   table walks on a TLB miss, then amortizes to zero.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import ComputeNode, ComputeNodeParams, UnilogicDomain, Worker
+from repro.core.middleware import CallPath, HardwareCallLibrary
+from repro.fabric import ModuleLibrary
+from repro.hls import HlsTool, SynthesisConstraints, saxpy_kernel
+from repro.memory import PAGE_SIZE, PageTable, Smmu, TranslationRegime
+from repro.sim import Simulator, spawn
+
+
+def _compiled_saxpy():
+    library = ModuleLibrary()
+    HlsTool().compile(saxpy_kernel(4096), library, SynthesisConstraints(max_variants=1))
+    return library.best_variant("saxpy")
+
+
+MODULE = _compiled_saxpy()
+
+
+def ace_vs_acelite(reuse_turns):
+    sim = Simulator()
+    node = ComputeNode(sim, ComputeNodeParams(num_workers=4))
+    unilogic = UnilogicDomain(node)
+    out = {}
+
+    def flow():
+        yield from node.worker(0).load_module(MODULE)
+        local = yield from unilogic.invoke(
+            "saxpy", 0, 4096, data_worker=0, reuse_turns=reuse_turns
+        )
+        remote = yield from unilogic.invoke(
+            "saxpy", 0, 4096, data_worker=2, reuse_turns=reuse_turns
+        )
+        out["local"] = local.latency_ns
+        out["remote"] = remote.latency_ns
+
+    spawn(sim, flow())
+    sim.run()
+    return out
+
+
+def test_fig4_ace_vs_acelite_gap_grows_with_reuse(benchmark):
+    reuses = [0.0, 1.0, 2.0, 4.0, 8.0]
+    rows = benchmark(
+        lambda: [
+            (r, ace_vs_acelite(r)["local"], ace_vs_acelite(r)["remote"])
+            for r in reuses
+        ]
+    )
+    table = [(r, loc, rem, rem / loc) for r, loc, rem in rows]
+    print_table(
+        "FIG4: accelerator access, local ACE (cached) vs remote ACE-lite",
+        ["reuse turns", "local (ns)", "remote (ns)", "remote/local"],
+        table,
+    )
+    ratios = [rem / loc for _, loc, rem in rows]
+    assert all(r > 1.0 for r in ratios)      # remote never as efficient
+    assert ratios[-1] > ratios[0]            # gap grows with reuse
+
+
+def test_fig4_user_level_vs_os_mediated(benchmark):
+    def sweep():
+        rows = []
+        for items in (64, 256, 1024, 4096):
+            sim = Simulator()
+            worker = Worker(sim, 0)
+            lib = HardwareCallLibrary(worker)
+            buffer_bytes = items * 8
+            ctx = lib.bind_user_context(buffer_bytes)
+            out = {}
+
+            def flow():
+                yield from worker.load_module(MODULE)
+                t_user = yield from lib.call(
+                    "saxpy", items, buffer_bytes, CallPath.USER_LEVEL, ctx
+                )
+                t_os = yield from lib.call(
+                    "saxpy", items, buffer_bytes, CallPath.OS_MEDIATED
+                )
+                out["user"], out["os"] = t_user, t_os
+
+            spawn(sim, flow())
+            sim.run()
+            rows.append((items, out["user"], out["os"], out["os"] / out["user"]))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "FIG4: call path overhead, SMMU user-level vs OS-mediated",
+        ["items", "user-level (ns)", "OS-mediated (ns)", "OS/user"],
+        rows,
+    )
+    for _, user, os_, _ in rows:
+        assert user < os_
+    # the relative win is biggest for the smallest calls
+    assert rows[0][3] > rows[-1][3]
+
+
+def test_fig4_dual_stage_smmu_amortizes(benchmark):
+    def run():
+        smmu = Smmu(tlb_entries=64)
+        s1, s2 = PageTable(), PageTable()
+        for vpn in range(32):
+            s1.map(vpn, vpn + 100)
+            s2.map(vpn + 100, vpn + 200)
+        smmu.attach_context(1, TranslationRegime.NESTED, stage1=s1, stage2=s2)
+        first_pass = sum(
+            smmu.translate(1, vpn * PAGE_SIZE)[1] for vpn in range(32)
+        )
+        second_pass = sum(
+            smmu.translate(1, vpn * PAGE_SIZE)[1] for vpn in range(32)
+        )
+        return first_pass, second_pass, smmu.stats.tlb_hit_rate
+
+    first, second, hit_rate = benchmark(run)
+    print_table(
+        "FIG4: dual-stage SMMU translation cost over a 32-page buffer",
+        ["pass", "total walk latency (ns)"],
+        [("first touch (2 walks/page)", first), ("steady state", second)],
+    )
+    assert first == pytest.approx(32 * 2 * 90.0)
+    assert second == 0.0
+    assert hit_rate == pytest.approx(0.5)

@@ -1,0 +1,115 @@
+"""FIG5: runtime control flow (paper Fig. 5, Section 4.2).
+
+The interaction the figure draws -- Execution Engine consults Execution
+History, the daemon reconfigures, the scheduler dispatches SW/HW -- is
+run whole and compared against two bounds:
+
+- **static-sw**: no daemon, no hardware (the floor),
+- **oracle**: every function pre-loaded before the run and dispatch by
+  exact per-call latency compare (the ceiling for this policy class).
+
+Shape: static >= adaptive(daemon) >= oracle in energy; the adaptive run
+approaches the oracle as the history warms up.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.apps import make_layered_dag
+from repro.core import ComputeNode, ComputeNodeParams, FunctionRegistry
+from repro.core.runtime import ExecutionEngine
+from repro.fabric import ModuleLibrary
+from repro.hls import (
+    HlsTool,
+    SynthesisConstraints,
+    montecarlo_kernel,
+    saxpy_kernel,
+    stencil_kernel,
+)
+from repro.sim import Simulator, spawn
+
+KERNELS = (saxpy_kernel(1024), stencil_kernel(1024), montecarlo_kernel(1024, 8))
+FUNCTIONS = ("saxpy", "stencil5", "montecarlo")
+
+
+def _build(workers=4):
+    sim = Simulator()
+    node = ComputeNode(sim, ComputeNodeParams(num_workers=workers))
+    registry = FunctionRegistry()
+    library = ModuleLibrary()
+    tool = HlsTool()
+    for k in KERNELS:
+        registry.register(k)
+        tool.compile(k, library, SynthesisConstraints(max_variants=2))
+    return sim, node, registry, library
+
+
+def run_policy(policy, seed=13):
+    sim, node, registry, library = _build()
+    engine = ExecutionEngine(
+        node,
+        registry,
+        library,
+        use_daemon=(policy == "adaptive"),
+        daemon_period_ns=100_000.0,
+        allow_hardware=(policy != "static-sw"),
+    )
+    if policy == "oracle":
+        # pre-load every function before the run begins
+        def preload():
+            for i, function in enumerate(FUNCTIONS):
+                worker = node.worker(i % len(node))
+                capacity = worker.fabric.regions[0].capacity
+                module = library.best_variant(function, capacity=capacity)
+                yield from worker.load_module(module)
+
+        spawn(sim, preload())
+        sim.run()
+        node.ledger.reset()  # don't bill the oracle for free pre-loading
+    graph = make_layered_dag(
+        layers=8, width=12, num_workers=len(node), functions=FUNCTIONS, seed=seed
+    )
+    return engine.run_graph(graph)
+
+
+def test_fig5_daemon_between_floor_and_oracle(benchmark):
+    results = benchmark(
+        lambda: {p: run_policy(p) for p in ("static-sw", "adaptive", "oracle")}
+    )
+    rows = [
+        (p, r.makespan_ns / 1e6, r.energy_pj / 1e9, r.hw_calls, r.reconfigurations)
+        for p, r in results.items()
+    ]
+    print_table(
+        "FIG5: runtime policy comparison (96-task DAG)",
+        ["policy", "makespan (ms)", "energy (mJ)", "hw calls", "reconfigs"],
+        rows,
+    )
+    static, adaptive, oracle = (
+        results["static-sw"], results["adaptive"], results["oracle"]
+    )
+    assert adaptive.energy_pj < static.energy_pj
+    assert oracle.energy_pj <= adaptive.energy_pj * 1.05
+    assert adaptive.hw_calls > 0 and static.hw_calls == 0
+    assert oracle.hw_fraction >= adaptive.hw_fraction
+
+
+def test_fig5_history_grows_and_drives_loads(benchmark):
+    def run():
+        sim, node, registry, library = _build()
+        engine = ExecutionEngine(
+            node, registry, library, use_daemon=True, daemon_period_ns=100_000.0
+        )
+        graph = make_layered_dag(
+            layers=6, width=10, num_workers=len(node), functions=FUNCTIONS, seed=3
+        )
+        report = engine.run_graph(graph)
+        return engine, report
+
+    engine, report = benchmark(run)
+    assert len(engine.history) == report.tasks
+    # the daemon's decisions came from the history
+    assert engine.daemon.stats.evaluations > 0
+    assert engine.daemon.stats.loads_triggered == report.reconfigurations
+    hot = engine.history.call_counts()
+    assert set(engine.daemon.stats.functions_loaded) <= set(hot)

@@ -1,0 +1,28 @@
+"""Shared helpers for the experiment benches."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: List[Sequence]) -> None:
+    """Print one experiment's result table (visible with ``pytest -s``)."""
+    widths = [
+        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i, h in enumerate(header)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Scaling the hierarchy toward exascale (Sections 1-2).
+
+Builds progressively larger ECOSCALE machines -- more hierarchy levels,
+more Compute Nodes -- and reports the quantities the paper's scaling
+argument is built on: maximum Worker-to-Worker hop distance (petascale
+~5 hops, exascale 6-7), allreduce latency at scale, and the power wall
+(the 1 GW Tianhe-2 extrapolation vs. the efficiency exascale needs).
+
+Run:  python examples/exascale_machine.py
+"""
+
+from repro.core import ComputeNode, ComputeNodeParams, Machine, MachineParams
+from repro.energy import (
+    GREEN500_2015_LEADER,
+    TIANHE2,
+    efficiency_required_for,
+    extrapolate_power_mw,
+)
+from repro.sim import Simulator
+
+CONFIGS = [
+    # (label, nodes, fanouts, workers/node, intra_fanout)
+    ("board", 1, None, 4, None),
+    ("chassis", 4, [4], 4, None),
+    ("cabinet", 16, [4, 4], 8, 4),
+    ("row", 64, [4, 4, 4], 8, 4),
+]
+
+
+def main() -> None:
+    print("machine scaling (the Fig. 3 hierarchy):\n")
+    header = (f"{'level':8s} {'nodes':>6s} {'workers':>8s} "
+              f"{'max hops':>9s} {'allreduce 4KiB (us)':>20s}")
+    print(header)
+    print("-" * len(header))
+    for label, nodes, fanouts, wpn, intra in CONFIGS:
+        machine = Machine(
+            Simulator(),
+            MachineParams(
+                num_nodes=nodes,
+                node=ComputeNodeParams(num_workers=wpn, intra_fanout=intra),
+                inter_node_fanouts=fanouts,
+            ),
+        )
+        ar = machine.world.allreduce(4096)
+        print(f"{label:8s} {nodes:6d} {machine.total_workers:8d} "
+              f"{machine.max_hop_distance():9d} {ar.latency_ns / 1000:20.1f}")
+
+    print("\nthe power wall (Section 1):")
+    tianhe = extrapolate_power_mw(TIANHE2)
+    green = extrapolate_power_mw(GREEN500_2015_LEADER)
+    print(f"  exaflop at Tianhe-2 efficiency : {tianhe:8.0f} MW  (~1 GW)")
+    print(f"  exaflop at Green500-best (2015): {green:8.0f} MW")
+    print(f"  required for a 20 MW facility  : "
+          f"{efficiency_required_for():5.0f} GFLOPS/W "
+          f"(Tianhe-2 delivered {TIANHE2.gflops_per_watt:.1f})")
+    print("\nhence ECOSCALE: locality-first hierarchy + shared reconfigurable "
+          "accelerators instead of more of the same cores.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""From OpenCL C source to reconfigurable silicon, end to end.
+
+The full programmer experience the paper promises: write plain OpenCL C,
+build a Program from it (the HLS frontend parses it into timing IR),
+enable acceleration (the design-space explorer picks implementations and
+floorplans them), and enqueue -- the module is partially reconfigured in
+on first use, with no hardware expertise anywhere in sight.
+
+Run:  python examples/opencl_c_kernels.py
+"""
+
+import numpy as np
+
+from repro.core import ComputeNode, ComputeNodeParams
+from repro.opencl import CommandQueue, Context, DeviceType, Platform, Program
+from repro.sim import Simulator
+
+N = 8192
+TAPS = 16
+
+FIR_SRC = """
+// ecoscale: recurrence(1, 3)
+__kernel void fir(__global const float* signal,
+                  __global const float* coeff,
+                  __global float* out) {
+    int i = get_global_id(0);
+    float acc = 0.0f;
+    for (int t = 0; t < TAPS; t++) {
+        acc += signal[i + t] * coeff[t];
+    }
+    out[i] = acc;
+}
+"""
+
+
+def main() -> None:
+    # --- build from source -------------------------------------------------
+    program = Program.from_source([FIR_SRC], global_size=N, constants={"TAPS": TAPS})
+    kernel_ir = program.registry.kernel("fir")
+    print("parsed kernel:", kernel_ir.name)
+    print(f"  per-work-item ops: { {k.value: v for k, v in kernel_ir.ops.items()} }")
+    print(f"  arrays: {[a.name for a in kernel_ir.arrays]}")
+    print(f"  recurrence bound: {kernel_ir.recurrence}")
+
+    variants = program.enable_acceleration("fir")
+    print(f"  HLS produced {variants} placed variant(s)\n")
+
+    def fir_impl(signal, coeff, out):
+        s, c = signal.array, coeff.array
+        acc = np.zeros(N, dtype=np.float32)
+        for t in range(TAPS):
+            acc += s[t:t + N] * c[t]
+        out.array[:] = acc
+
+    program.set_host_impl("fir", fir_impl)
+
+    # --- platform + buffers -------------------------------------------------
+    sim = Simulator()
+    node = ComputeNode(sim, ComputeNodeParams(num_workers=2))
+    platform = Platform(node)
+    context = Context(platform)
+    signal = context.create_buffer(4 * (N + TAPS), dtype=np.float32)
+    coeff = context.create_buffer(4 * TAPS, dtype=np.float32)
+    out = context.create_buffer(4 * N, dtype=np.float32)
+    rng = np.random.default_rng(3)
+    signal.array[:] = rng.normal(size=N + TAPS).astype(np.float32)
+    coeff.array[:] = (np.hanning(TAPS) / TAPS).astype(np.float32)
+
+    # --- run on both devices -----------------------------------------------
+    handle = program.kernel("fir").set_args(signal, coeff, out)
+    cpu_q = CommandQueue(context, platform.device(0, DeviceType.CPU))
+    ev_cpu = cpu_q.enqueue_nd_range(handle, N)
+    cpu_q.finish()
+    reference = out.array.copy()
+
+    fpga_q = CommandQueue(context, platform.device(0, DeviceType.FPGA))
+    ev_hw = fpga_q.enqueue_nd_range(handle, N)
+    fpga_q.finish()
+    assert np.allclose(out.array, reference)
+    ev_hw2 = fpga_q.enqueue_nd_range(handle, N)
+    fpga_q.finish()
+
+    print(f"cpu run            : {ev_cpu.duration_ns:10.0f} ns")
+    print(f"fpga first call    : {ev_hw.duration_ns:10.0f} ns (incl. reconfiguration)")
+    print(f"fpga steady state  : {ev_hw2.duration_ns:10.0f} ns")
+    print(f"\nloaded on worker 0 : {node.worker(0).fabric.loaded_functions()}")
+    print("from OpenCL C source to a placed, reconfigured accelerator -- "
+          "no hardware design in the loop.")
+
+
+if __name__ == "__main__":
+    main()

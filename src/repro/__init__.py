@@ -1,0 +1,10 @@
+"""ECOSCALE reproduction: reconfigurable computing + runtime for exascale.
+
+A complete, simulation-backed implementation of the system described in
+Mavroidis et al., "ECOSCALE: Reconfigurable Computing and Runtime System
+for Future Exascale Systems", DATE 2016.  See README.md for the tour,
+DESIGN.md for the system inventory, EXPERIMENTS.md for paper-vs-measured
+results, and ``python -m repro info`` for the package map.
+"""
+
+__version__ = "1.0.0"

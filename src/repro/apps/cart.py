@@ -1,0 +1,132 @@
+"""CART decision-tree classification.
+
+The big-data workload of the paper's related work: "the Convey HC-1
+server has been used to accelerate data mining workloads using the CART
+algorithm for decision tree classification" (HC-CART [17]).  A real,
+deterministic Gini-impurity CART implementation; the split-search inner
+loop is exactly what :func:`repro.hls.kernels.cart_split_kernel`
+characterizes for hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    prediction: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    p = counts / labels.size
+    return 1.0 - float((p**2).sum())
+
+
+def _best_split(x: np.ndarray, y: np.ndarray) -> Tuple[int, float, float]:
+    """(feature, threshold, impurity_decrease); feature -1 when no split helps."""
+    n, d = x.shape
+    parent = _gini(y)
+    best = (-1, 0.0, 0.0)
+    for feature in range(d):
+        order = np.argsort(x[:, feature], kind="stable")
+        xs, ys = x[order, feature], y[order]
+        for i in range(1, n):
+            if xs[i] == xs[i - 1]:
+                continue
+            left, right = ys[:i], ys[i:]
+            weighted = (i * _gini(left) + (n - i) * _gini(right)) / n
+            gain = parent - weighted
+            if gain > best[2]:
+                best = (feature, float(0.5 * (xs[i] + xs[i - 1])), float(gain))
+    return best
+
+
+class CartTree:
+    """A Gini CART classifier (fit/predict), depth- and size-limited."""
+
+    def __init__(self, max_depth: int = 6, min_samples: int = 4) -> None:
+        if max_depth < 1 or min_samples < 2:
+            raise ValueError("need max_depth >= 1 and min_samples >= 2")
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self._root: Optional[_Node] = None
+        self.node_count = 0
+        self.splits_evaluated = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "CartTree":
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise ValueError(f"bad training shapes {x.shape}, {y.shape}")
+        if x.shape[0] < 1:
+            raise ValueError("need at least one sample")
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        self.node_count += 1
+        majority = int(np.bincount(y).argmax())
+        if (
+            depth >= self.max_depth
+            or y.size < self.min_samples
+            or np.unique(y).size == 1
+        ):
+            return _Node(prediction=majority)
+        feature, threshold, gain = _best_split(x, y)
+        self.splits_evaluated += x.shape[0] * x.shape[1]
+        if feature < 0 or gain <= 0:
+            return _Node(prediction=majority)
+        mask = x[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return _Node(prediction=majority)
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._build(x[mask], y[mask], depth + 1),
+            right=self._build(x[~mask], y[~mask], depth + 1),
+            prediction=majority,
+        )
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("fit() must be called before predict()")
+        if x.ndim != 2:
+            raise ValueError(f"expected 2-D inputs, got shape {x.shape}")
+        out = np.empty(x.shape[0], dtype=np.int64)
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == y).mean())
+
+
+def make_classification(
+    samples: int = 500, features: int = 8, classes: int = 2, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A separable-but-noisy synthetic classification problem."""
+    if samples < classes or features < 1 or classes < 2:
+        raise ValueError("invalid problem size")
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=3.0, size=(classes, features))
+    y = rng.integers(0, classes, size=samples)
+    x = centers[y] + rng.normal(scale=1.0, size=(samples, features))
+    return x, y.astype(np.int64)

@@ -1,0 +1,90 @@
+"""Mapping subdomains/tasks onto Workers, and costing the result.
+
+The Fig. 1 experiment compares *hierarchical* placement (neighbouring
+subdomains land on topologically nearby Workers -- block mapping onto the
+tree's leaf order) against locality-oblivious placements (cyclic and
+random) on the same machine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.interconnect.message import Message, TransactionType
+from repro.interconnect.network import Network
+
+
+def block_mapping(num_items: int, workers: Sequence[Hashable]) -> Dict[int, Hashable]:
+    """Contiguous blocks of items per worker (locality-preserving: with a
+    row-major decomposition, neighbours stay on the same or adjacent
+    workers -- the hierarchical partitioning of Fig. 1)."""
+    if not workers:
+        raise ValueError("need at least one worker")
+    n_workers = len(workers)
+    mapping = {}
+    for item in range(num_items):
+        mapping[item] = workers[item * n_workers // num_items]
+    return mapping
+
+
+def cyclic_mapping(num_items: int, workers: Sequence[Hashable]) -> Dict[int, Hashable]:
+    """Round-robin: adjacent items always land on different workers (the
+    locality-destroying strawman)."""
+    if not workers:
+        raise ValueError("need at least one worker")
+    return {i: workers[i % len(workers)] for i in range(num_items)}
+
+
+def random_mapping(
+    num_items: int, workers: Sequence[Hashable], seed: int = 0
+) -> Dict[int, Hashable]:
+    """Uniform random placement (what a topology-oblivious scheduler does)."""
+    if not workers:
+        raise ValueError("need at least one worker")
+    rng = random.Random(seed)
+    return {i: rng.choice(list(workers)) for i in range(num_items)}
+
+
+def communication_bytes(
+    pairs: Sequence[Tuple[int, int, int]],
+    mapping: Dict[int, Hashable],
+    network: Network,
+    rounds: int = 1,
+) -> Dict[str, float]:
+    """Cost ``rounds`` of the exchange ``pairs`` under ``mapping``.
+
+    Returns the metrics the partitioning experiments report: total bytes
+    that crossed links (hop-weighted), energy, the worst hop distance and
+    the mean hop distance.  Item pairs mapped to the same worker cost
+    nothing -- that is the whole point of locality-aware mapping.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    network.reset_traffic()
+    total_latency = 0.0
+    total_energy = 0.0
+    hop_counts: List[int] = []
+    for a, b, size in pairs:
+        src, dst = mapping[a], mapping[b]
+        if src == dst:
+            hop_counts.append(0)
+            continue
+        hops = network.hop_distance(src, dst)
+        hop_counts.append(hops)
+        for _ in range(rounds):
+            lat, energy = network.send_cost(
+                Message(src, dst, size, TransactionType.STORE)
+            )
+            total_latency += lat
+            total_energy += energy
+    return {
+        "link_bytes": float(network.total_link_bytes()),
+        "energy_pj": total_energy,
+        "sum_latency_ns": total_latency,
+        "max_hops": float(max(hop_counts, default=0)),
+        "mean_hops": (
+            sum(hop_counts) / len(hop_counts) if hop_counts else 0.0
+        ),
+        "local_pairs": float(sum(1 for h in hop_counts if h == 0)),
+    }

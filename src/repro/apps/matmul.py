@@ -1,0 +1,41 @@
+"""Blocked dense matrix multiplication."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def blocked_matmul(a: np.ndarray, b: np.ndarray, block: int) -> np.ndarray:
+    """C = A @ B computed tile by tile (the task decomposition the
+    runtime distributes across Workers)."""
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    if block < 1:
+        raise ValueError("block size must be positive")
+    m, k = a.shape
+    _, n = b.shape
+    c = np.zeros((m, n), dtype=np.result_type(a, b))
+    for i0 in range(0, m, block):
+        for j0 in range(0, n, block):
+            for k0 in range(0, k, block):
+                c[i0:i0 + block, j0:j0 + block] += (
+                    a[i0:i0 + block, k0:k0 + block]
+                    @ b[k0:k0 + block, j0:j0 + block]
+                )
+    return c
+
+
+def matmul_task_list(m: int, n: int, k: int, block: int) -> List[Tuple[int, int, int]]:
+    """The (i, j, k) tile-multiply tasks of a blocked matmul, in the order
+    a runtime would enqueue them.  ``len(...)`` gives the task count the
+    scheduler experiments use."""
+    if min(m, n, k) < 1 or block < 1:
+        raise ValueError("dimensions and block must be positive")
+    tasks = []
+    for i0 in range(0, m, block):
+        for j0 in range(0, n, block):
+            for k0 in range(0, k, block):
+                tasks.append((i0 // block, j0 // block, k0 // block))
+    return tasks

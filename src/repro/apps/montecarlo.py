@@ -1,0 +1,74 @@
+"""Monte-Carlo option pricing (geometric Brownian motion).
+
+The financial workload of the paper's related work (Maxeler multi-level
+Monte-Carlo [18]); compute-dense and embarrassingly parallel -- the ideal
+UNILOGIC shared-accelerator client.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def gbm_paths(
+    s0: float,
+    mu: float,
+    sigma: float,
+    horizon: float,
+    steps: int,
+    paths: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Simulate ``paths`` GBM price paths; returns (paths, steps+1)."""
+    if s0 <= 0 or sigma < 0 or steps < 1 or paths < 1 or horizon <= 0:
+        raise ValueError("invalid GBM parameters")
+    rng = np.random.default_rng(seed)
+    dt = horizon / steps
+    shocks = rng.standard_normal((paths, steps))
+    drift = (mu - 0.5 * sigma * sigma) * dt
+    diffusion = sigma * math.sqrt(dt)
+    log_paths = np.cumsum(drift + diffusion * shocks, axis=1)
+    out = np.empty((paths, steps + 1))
+    out[:, 0] = s0
+    out[:, 1:] = s0 * np.exp(log_paths)
+    return out
+
+
+def european_call_mc(
+    s0: float,
+    strike: float,
+    rate: float,
+    sigma: float,
+    horizon: float,
+    steps: int = 64,
+    paths: int = 10000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """(price, standard_error) of a European call by Monte-Carlo."""
+    if strike <= 0:
+        raise ValueError("strike must be positive")
+    terminal = gbm_paths(s0, rate, sigma, horizon, steps, paths, seed)[:, -1]
+    payoff = np.maximum(terminal - strike, 0.0) * math.exp(-rate * horizon)
+    price = float(payoff.mean())
+    stderr = float(payoff.std(ddof=1) / math.sqrt(paths))
+    return price, stderr
+
+
+def black_scholes_call(
+    s0: float, strike: float, rate: float, sigma: float, horizon: float
+) -> float:
+    """Closed-form reference for validating the Monte-Carlo kernel."""
+    if sigma <= 0 or horizon <= 0:
+        raise ValueError("sigma and horizon must be positive")
+    d1 = (math.log(s0 / strike) + (rate + 0.5 * sigma**2) * horizon) / (
+        sigma * math.sqrt(horizon)
+    )
+    d2 = d1 - sigma * math.sqrt(horizon)
+
+    def ncdf(x: float) -> float:
+        return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+    return s0 * ncdf(d1) - strike * math.exp(-rate * horizon) * ncdf(d2)

@@ -1,0 +1,68 @@
+"""All-pairs n-body (softened gravitational interaction)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def nbody_step(
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    masses: np.ndarray,
+    dt: float,
+    softening: float = 1e-3,
+    g: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One leapfrog step of the all-pairs n-body problem.
+
+    Returns updated (positions, velocities); inputs are not modified.
+    """
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError(f"positions must be (n, 3), got {positions.shape}")
+    if velocities.shape != positions.shape:
+        raise ValueError("velocities must match positions shape")
+    n = positions.shape[0]
+    if masses.shape != (n,):
+        raise ValueError(f"masses must be ({n},), got {masses.shape}")
+    if dt <= 0 or softening <= 0:
+        raise ValueError("dt and softening must be positive")
+
+    delta = positions[None, :, :] - positions[:, None, :]        # (n, n, 3)
+    dist2 = (delta**2).sum(axis=2) + softening**2
+    inv_d3 = dist2 ** (-1.5)
+    np.fill_diagonal(inv_d3, 0.0)
+    accel = g * (delta * (masses[None, :, None] * inv_d3[:, :, None])).sum(axis=1)
+
+    new_v = velocities + accel * dt
+    new_p = positions + new_v * dt
+    return new_p, new_v
+
+
+def nbody_energy(
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    masses: np.ndarray,
+    softening: float = 1e-3,
+    g: float = 1.0,
+) -> float:
+    """Total (kinetic + potential) energy -- the conservation check."""
+    kinetic = 0.5 * float((masses * (velocities**2).sum(axis=1)).sum())
+    delta = positions[None, :, :] - positions[:, None, :]
+    dist = np.sqrt((delta**2).sum(axis=2) + softening**2)
+    inv = 1.0 / dist
+    np.fill_diagonal(inv, 0.0)
+    potential = -0.5 * g * float((masses[:, None] * masses[None, :] * inv).sum())
+    return kinetic + potential
+
+
+def plummer_sphere(n: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A reproducible cold Plummer-ish initial condition."""
+    if n < 2:
+        raise ValueError("need at least two bodies")
+    rng = np.random.default_rng(seed)
+    positions = rng.normal(scale=1.0, size=(n, 3))
+    velocities = rng.normal(scale=0.05, size=(n, 3))
+    masses = np.full(n, 1.0 / n)
+    return positions, velocities, masses

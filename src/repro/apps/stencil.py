@@ -1,0 +1,108 @@
+"""2-D Jacobi stencil: the canonical halo-exchange HPC workload.
+
+Provides both the *computation* (numpy 5-point Jacobi sweeps, used by the
+examples to produce real numbers) and the *communication structure* (a
+2-D block decomposition whose halo-exchange pairs feed the partitioning
+experiments of Fig. 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+def jacobi_step(grid: np.ndarray) -> np.ndarray:
+    """One 5-point Jacobi sweep (Dirichlet boundary kept fixed)."""
+    if grid.ndim != 2 or min(grid.shape) < 3:
+        raise ValueError(f"need a 2-D grid of at least 3x3, got {grid.shape}")
+    out = grid.copy()
+    out[1:-1, 1:-1] = 0.25 * (
+        grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+    )
+    return out
+
+
+def jacobi_reference(n: int, iterations: int, hot_edge: float = 100.0) -> np.ndarray:
+    """A reproducible reference problem: square plate, one hot edge."""
+    if n < 3 or iterations < 0:
+        raise ValueError("need n >= 3 and iterations >= 0")
+    grid = np.zeros((n, n), dtype=np.float64)
+    grid[0, :] = hot_edge
+    for _ in range(iterations):
+        grid = jacobi_step(grid)
+    return grid
+
+
+@dataclass(frozen=True)
+class StencilDecomposition:
+    """A ``py x px`` block decomposition of an ``n x n`` grid."""
+
+    n: int
+    py: int
+    px: int
+    elem_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.py < 1 or self.px < 1 or self.n < max(self.py, self.px):
+            raise ValueError(
+                f"invalid decomposition {self.py}x{self.px} of an {self.n}-grid"
+            )
+
+    @property
+    def num_subdomains(self) -> int:
+        return self.py * self.px
+
+    def subdomain_shape(self, index: int) -> Tuple[int, int]:
+        """(rows, cols) of one subdomain (edge blocks absorb remainders)."""
+        iy, ix = divmod(index, self.px)
+        rows = self.n // self.py + (1 if iy < self.n % self.py else 0)
+        cols = self.n // self.px + (1 if ix < self.n % self.px else 0)
+        return rows, cols
+
+    def coords(self, index: int) -> Tuple[int, int]:
+        return divmod(index, self.px)
+
+    def index(self, iy: int, ix: int) -> int:
+        return iy * self.px + ix
+
+    def halo_bytes(self, a: int, b: int) -> int:
+        """Bytes exchanged per iteration between adjacent subdomains."""
+        ay, ax = self.coords(a)
+        by, bx = self.coords(b)
+        if abs(ay - by) + abs(ax - bx) != 1:
+            raise ValueError(f"subdomains {a} and {b} are not face neighbours")
+        if ay == by:  # vertical edge: a column of rows crosses
+            rows = self.subdomain_shape(a)[0]
+            return rows * self.elem_bytes
+        cols = self.subdomain_shape(a)[1]
+        return cols * self.elem_bytes
+
+
+def decompose_grid(n: int, parts: int, elem_bytes: int = 8) -> StencilDecomposition:
+    """Factor ``parts`` into the squarest ``py x px`` block grid."""
+    if parts < 1:
+        raise ValueError("need at least one part")
+    best = (1, parts)
+    for py in range(1, int(math.isqrt(parts)) + 1):
+        if parts % py == 0:
+            best = (py, parts // py)
+    return StencilDecomposition(n=n, py=best[0], px=best[1], elem_bytes=elem_bytes)
+
+
+def halo_pairs(decomp: StencilDecomposition) -> List[Tuple[int, int, int]]:
+    """All (a, b, bytes) halo-exchange pairs, each undirected pair once."""
+    pairs = []
+    for iy in range(decomp.py):
+        for ix in range(decomp.px):
+            a = decomp.index(iy, ix)
+            if ix + 1 < decomp.px:
+                b = decomp.index(iy, ix + 1)
+                pairs.append((a, b, decomp.halo_bytes(a, b)))
+            if iy + 1 < decomp.py:
+                b = decomp.index(iy + 1, ix)
+                pairs.append((a, b, decomp.halo_bytes(a, b)))
+    return pairs

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``info``        package inventory and version,
+- ``machine``     build a machine and report its hierarchy metrics,
+- ``power``       the Section 1 exascale power extrapolation,
+- ``demo``        a short adaptive-runtime run with a timeline,
+- ``experiment``  run one DESIGN.md experiment's bench and print its tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} -- ECOSCALE (DATE 2016) reproduction")
+    print(__doc__.split("Commands:")[0].strip())
+    packages = [
+        ("repro.sim", "discrete-event simulation kernel"),
+        ("repro.memory", "UNIMEM memory system (pages, caches, SMMU)"),
+        ("repro.interconnect", "multi-layer interconnect + topologies + DMA"),
+        ("repro.fabric", "reconfigurable fabric, bitstreams, floorplanning"),
+        ("repro.hls", "HLS: kernel IR, estimation, design-space exploration"),
+        ("repro.opencl", "OpenCL-style API with ECOSCALE extensions"),
+        ("repro.mpi", "communicators, collectives, topologies, placement"),
+        ("repro.pgas", "NUMA-aware allocation and page migration"),
+        ("repro.apps", "HPC workloads (stencil, matmul, MC, CART, DAGs)"),
+        ("repro.energy", "energy accounting + exascale extrapolation"),
+        ("repro.core", "Workers, Compute Nodes, UNILOGIC, runtime, middleware"),
+    ]
+    print("\npackages:")
+    for name, desc in packages:
+        print(f"  {name:20s} {desc}")
+    return 0
+
+
+def _cmd_machine(args: argparse.Namespace) -> int:
+    from repro.core import ComputeNodeParams, Machine, MachineParams
+    from repro.sim import Simulator
+
+    machine = Machine(
+        Simulator(),
+        MachineParams(
+            num_nodes=args.nodes,
+            node=ComputeNodeParams(
+                num_workers=args.workers,
+                intra_fanout=args.intra_fanout,
+            ),
+        ),
+    )
+    print(f"machine: {args.nodes} compute nodes x {args.workers} workers "
+          f"= {machine.total_workers} workers")
+    print(f"max worker-to-worker hop distance: {machine.max_hop_distance()}")
+    for size in (64, 4096, 262144):
+        r = machine.world.allreduce(size)
+        print(f"allreduce {size:>7d} B: {r.latency_ns / 1000:9.1f} us, "
+              f"{r.rounds} rounds, {r.bytes_moved} bytes moved")
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.energy import (
+        GREEN500_2015_LEADER,
+        TIANHE2,
+        efficiency_required_for,
+        extrapolate_power_mw,
+    )
+
+    print("exaflop power extrapolation (paper Section 1):")
+    for ref in (TIANHE2, GREEN500_2015_LEADER):
+        mw = extrapolate_power_mw(ref, target_flops=args.exaflops * 1e18)
+        print(f"  from {ref.name:10s} ({ref.gflops_per_watt:5.2f} GFLOPS/W): "
+              f"{mw:8.0f} MW")
+    need = efficiency_required_for(args.exaflops * 1e18, args.budget_mw)
+    print(f"  required for a {args.budget_mw:.0f} MW facility: "
+          f"{need:.0f} GFLOPS/W")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.apps import make_layered_dag
+    from repro.core import ComputeNode
+    from repro.core.runtime import ExecutionEngine
+    from repro.presets import board_node, compiled_suite
+    from repro.sim import Simulator, Tracer, render_timeline
+
+    print("compiling the kernel suite through the HLS flow...")
+    registry, library = compiled_suite(max_variants=1)
+    sim = Simulator()
+    node = ComputeNode(sim, board_node(workers=args.workers))
+    tracer = Tracer(sim)
+    engine = ExecutionEngine(
+        node, registry, library, use_daemon=True, daemon_period_ns=100_000.0,
+        tracer=tracer,
+    )
+    graph = make_layered_dag(
+        layers=args.layers, width=args.width, num_workers=args.workers,
+        functions=("saxpy", "stencil5", "montecarlo"), seed=args.seed,
+    )
+    print(f"running {len(graph)} tasks on {args.workers} workers...")
+    report = engine.run_graph(graph)
+    print(f"  makespan : {report.makespan_ns / 1e6:.3f} ms")
+    print(f"  devices  : {report.sw_calls} sw / {report.hw_calls} hw "
+          f"({report.hw_fraction:.0%} hardware)")
+    print(f"  reconfigs: {report.reconfigurations}")
+    print(f"  energy   : {report.energy_pj / 1e9:.3f} mJ")
+    if engine.daemon is not None:
+        print(f"  daemon loaded: {engine.daemon.stats.functions_loaded}")
+    print("\nper-worker timeline:")
+    print(render_timeline(tracer, width=64))
+    return 0
+
+
+_EXPERIMENT_FILES = {
+    "FIG1": "bench_fig1_partitioning.py",
+    "FIG2": "bench_fig2_framework.py",
+    "FIG3": "bench_fig3_architecture.py",
+    "FIG4": "bench_fig4_worker.py",
+    "FIG5": "bench_fig5_runtime.py",
+    "CLAIM-GW": "bench_claim_exascale.py",
+    "CLAIM-SHARE": "bench_claim_sharing.py",
+    "CLAIM-COMPRESS": "bench_claim_compression.py",
+    "CLAIM-CHAIN": "bench_claim_chaining.py",
+    "CLAIM-LAZY": "bench_claim_lazy.py",
+    "CLAIM-MODEL": "bench_claim_models.py",
+    "CLAIM-HLS": "bench_claim_hls.py",
+    "CLAIM-PGAS": "bench_claim_hybrid.py",
+    "CLAIM-SORT": "bench_claim_sorting.py",
+    "CLAIM-RESIL": "bench_claim_resilience.py",
+    "CLAIM-IRREGULAR": "bench_claim_irregular.py",
+    "ABL": "bench_ablations.py",
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import subprocess
+    from pathlib import Path
+
+    key = args.id.upper()
+    if key not in _EXPERIMENT_FILES:
+        print(f"unknown experiment {args.id!r}; choose from:")
+        for name in _EXPERIMENT_FILES:
+            print(f"  {name}")
+        return 2
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    bench = bench_dir / _EXPERIMENT_FILES[key]
+    if not bench.exists():
+        print(f"bench file {bench} not found (run from a source checkout)")
+        return 2
+    cmd = [sys.executable, "-m", "pytest", str(bench), "-s", "-q",
+           "--benchmark-disable"]
+    return subprocess.call(cmd)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ECOSCALE (DATE 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package inventory").set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("machine", help="build a machine, report hierarchy metrics")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument("--intra-fanout", type=int, default=None)
+    p.set_defaults(fn=_cmd_machine)
+
+    p = sub.add_parser("power", help="exascale power extrapolation")
+    p.add_argument("--exaflops", type=float, default=1.0)
+    p.add_argument("--budget-mw", type=float, default=20.0)
+    p.set_defaults(fn=_cmd_power)
+
+    p = sub.add_parser("demo", help="short adaptive-runtime run")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--layers", type=int, default=6)
+    p.add_argument("--width", type=int, default=10)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=_cmd_demo)
+
+    p = sub.add_parser("experiment", help="run one DESIGN.md experiment")
+    p.add_argument("id", help="experiment id, e.g. FIG1 or CLAIM-COMPRESS")
+    p.set_defaults(fn=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

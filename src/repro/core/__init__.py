@@ -1,0 +1,45 @@
+"""The ECOSCALE core: Workers, Compute Nodes, UNILOGIC and the runtime.
+
+This package is the paper's contribution proper, assembled from the
+substrate packages:
+
+- :class:`Worker` (Fig. 4): CPU + cache + DRAM + reconfigurable block +
+  dual-stage SMMU + virtualization block.
+- :class:`ComputeNode` (Fig. 3): a PGAS sub-system of Workers on a
+  multi-layer interconnect sharing a UNIMEM address space.
+- :class:`UnilogicDomain`: shared partitioned reconfigurable resources --
+  any Worker can invoke any Reconfigurable block in the domain; local
+  blocks cache coherently (ACE), remote ones run cache-disabled
+  (ACE-lite).
+- :class:`Machine` (Fig. 1/3): Compute Nodes joined by an MPI-style
+  inter-node network.
+- :mod:`repro.core.runtime` (Fig. 5): schedulers, execution history,
+  prediction models, the reconfiguration daemon and the execution engine.
+- :mod:`repro.core.middleware`: the partial-reconfiguration toolset and
+  the SW-HW communication library.
+"""
+
+from repro.core.compute_node import ComputeNode, ComputeNodeParams
+from repro.core.machine import Machine, MachineParams
+from repro.core.resilience import FaultInjector, FaultRecord, RecoveryManager
+from repro.core.sync import AtomicCell, UnimemBarrier, UnimemLock
+from repro.core.unilogic import AcceleratorAccess, UnilogicDomain
+from repro.core.worker import FunctionRegistry, Worker, WorkerParams
+
+__all__ = [
+    "AcceleratorAccess",
+    "AtomicCell",
+    "ComputeNode",
+    "ComputeNodeParams",
+    "FaultInjector",
+    "FaultRecord",
+    "RecoveryManager",
+    "FunctionRegistry",
+    "Machine",
+    "MachineParams",
+    "UnilogicDomain",
+    "UnimemBarrier",
+    "UnimemLock",
+    "Worker",
+    "WorkerParams",
+]

@@ -1,0 +1,125 @@
+"""The SW-HW communication library.
+
+"it provides a communication library and API in order to call any
+function that is implemented in hardware" (Section 4.3).
+
+The library models the two call paths of Fig. 4:
+
+- **USER_LEVEL**: the dual-stage SMMU translates the accelerator's
+  virtual addresses in hardware, so a user process pokes the
+  accelerator's doorbell registers directly -- per-call cost is a few
+  uncached register writes plus any SMMU walk latency.
+- **OS_MEDIATED**: without the SMMU the accelerator needs physical
+  addresses, so every call traps into the OS (syscall + buffer pinning +
+  address set-up), the legacy path whose overhead the SMMU removes.
+
+The FIG4 experiment sweeps call granularity over both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Generator, Optional, Tuple
+
+from repro.core.worker import Worker
+from repro.fabric.region import Region
+from repro.memory.address import PAGE_SIZE
+from repro.memory.smmu import PageTable, TranslationRegime
+from repro.sim import Timeout
+
+
+class CallPath(Enum):
+    USER_LEVEL = "user"        # SMMU-translated, direct doorbell
+    OS_MEDIATED = "os"         # trap into the kernel per call
+
+
+@dataclass(frozen=True)
+class CallCosts:
+    """Fixed per-call overheads (ns)."""
+
+    doorbell_write_ns: float = 40.0     # uncached MMIO register write
+    completion_poll_ns: float = 60.0    # read-back of the status register
+    syscall_ns: float = 1500.0          # trap + driver entry/exit
+    pin_buffer_ns_per_page: float = 300.0   # get_user_pages-style pinning
+    os_setup_ns: float = 800.0          # physical address programming
+
+
+class HardwareCallLibrary:
+    """Per-Worker call library in front of the virtualization block."""
+
+    def __init__(self, worker: Worker, costs: CallCosts = CallCosts()) -> None:
+        self.worker = worker
+        self.costs = costs
+        self.user_calls = 0
+        self.os_calls = 0
+        self._next_context = 1
+
+    # ------------------------------------------------------------------
+    def bind_user_context(self, buffer_bytes: int) -> int:
+        """Set up an SMMU context for a user process once (maps its
+        buffer for the accelerator); amortized over every later call."""
+        context = self._next_context
+        self._next_context += 1
+        pages = max(1, (buffer_bytes + PAGE_SIZE - 1) // PAGE_SIZE)
+        stage1, stage2 = PageTable(f"ctx{context}.s1"), PageTable(f"ctx{context}.s2")
+        for vpn in range(pages):
+            stage1.map(vpn, vpn + 0x1000)
+            stage2.map(vpn + 0x1000, vpn + 0x2000)
+        self.worker.smmu.attach_context(
+            context, TranslationRegime.NESTED, stage1=stage1, stage2=stage2
+        )
+        return context
+
+    # ------------------------------------------------------------------
+    def call_overhead_ns(
+        self, path: CallPath, buffer_bytes: int, context: Optional[int] = None
+    ) -> float:
+        """Analytic per-call overhead, excluding the kernel execution."""
+        if path is CallPath.USER_LEVEL:
+            overhead = self.costs.doorbell_write_ns + self.costs.completion_poll_ns
+            if context is not None:
+                # first-touch SMMU walks for the buffer's pages
+                _, walk = self.worker.smmu.translate(context, 0)
+                overhead += walk
+            return overhead
+        pages = max(1, (buffer_bytes + PAGE_SIZE - 1) // PAGE_SIZE)
+        return (
+            self.costs.syscall_ns
+            + self.costs.os_setup_ns
+            + pages * self.costs.pin_buffer_ns_per_page
+            + self.costs.doorbell_write_ns
+            + self.costs.completion_poll_ns
+        )
+
+    def call(
+        self,
+        function: str,
+        items: int,
+        buffer_bytes: int,
+        path: CallPath = CallPath.USER_LEVEL,
+        context: Optional[int] = None,
+    ) -> Generator:
+        """Simulation process: one complete hardware function call through
+        the chosen path.  Returns total latency_ns."""
+        start = self.worker.sim.now
+        if path is CallPath.USER_LEVEL:
+            self.user_calls += 1
+            yield Timeout(self.costs.doorbell_write_ns)
+            if context is not None:
+                for vpn in range(max(1, (buffer_bytes + PAGE_SIZE - 1) // PAGE_SIZE)):
+                    _, walk = self.worker.smmu.translate(context, vpn * PAGE_SIZE)
+                    if walk:
+                        yield Timeout(walk)
+        else:
+            self.os_calls += 1
+            pages = max(1, (buffer_bytes + PAGE_SIZE - 1) // PAGE_SIZE)
+            yield Timeout(
+                self.costs.syscall_ns
+                + self.costs.os_setup_ns
+                + pages * self.costs.pin_buffer_ns_per_page
+                + self.costs.doorbell_write_ns
+            )
+        yield from self.worker.run_hardware(function, items)
+        yield Timeout(self.costs.completion_poll_ns)
+        return self.worker.sim.now - start

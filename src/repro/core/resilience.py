@@ -1,0 +1,178 @@
+"""Resilience through reconfiguration.
+
+Section 2: "To further increase energy efficiency, as well as **to
+provide resilience**, the Workers employ reconfigurable accelerators."
+A fabric region that develops a fault is not a lost machine: the
+middleware blanks it, marks it out of the floorplan, and reloads the
+affected module into another region -- possibly on another Worker, since
+UNILOGIC lets any Worker use any block.
+
+:class:`FaultInjector` breaks regions (and whole Workers) at simulated
+times; :class:`RecoveryManager` watches for broken regions and performs
+the reload, recording time-to-recover and service continuity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.core.compute_node import ComputeNode
+from repro.core.unilogic import UnilogicDomain
+from repro.fabric.region import Region, RegionState
+from repro.sim import Timeout
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault and its recovery outcome."""
+
+    worker_id: int
+    region_id: int
+    function: Optional[str]
+    injected_at: float
+    recovered_at: Optional[float] = None
+    recovery_worker: Optional[int] = None
+
+    @property
+    def recovery_ns(self) -> Optional[float]:
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.injected_at
+
+
+class FaultInjector:
+    """Breaks fabric regions at chosen simulated times."""
+
+    def __init__(self, node: ComputeNode) -> None:
+        self.node = node
+        self.failed: Set[Tuple[int, int]] = set()   # (worker, region)
+        self.records: List[FaultRecord] = []
+
+    def is_failed(self, worker_id: int, region_id: int) -> bool:
+        return (worker_id, region_id) in self.failed
+
+    def inject_region_fault(self, worker_id: int, region_id: int) -> FaultRecord:
+        """Break one region *now*: whatever module it held is lost."""
+        worker = self.node.worker(worker_id)
+        if not 0 <= region_id < len(worker.fabric):
+            raise ValueError(f"worker {worker_id} has no region {region_id}")
+        key = (worker_id, region_id)
+        if key in self.failed:
+            raise ValueError(f"region {key} already failed")
+        region = worker.fabric.regions[region_id]
+        record = FaultRecord(
+            worker_id=worker_id,
+            region_id=region_id,
+            function=region.function,
+            injected_at=self.node.sim.now,
+        )
+        # the region is dead: blank it and remove it from service
+        worker.reconfig.unload(region)
+        region.state = RegionState.LOADING  # never READY/EMPTY again
+        self.failed.add(key)
+        self.records.append(record)
+        return record
+
+    def inject_worker_fault(self, worker_id: int) -> List[FaultRecord]:
+        """Break every region of one Worker (board-level fault)."""
+        worker = self.node.worker(worker_id)
+        return [
+            self.inject_region_fault(worker_id, r.region_id)
+            for r in worker.fabric.regions
+            if not self.is_failed(worker_id, r.region_id)
+        ]
+
+    def schedule_region_fault(self, delay_ns: float, worker_id: int, region_id: int) -> None:
+        self.node.sim.schedule(
+            delay_ns, lambda: self.inject_region_fault(worker_id, region_id)
+        )
+
+
+class RecoveryManager:
+    """Reloads modules lost to faults into surviving regions.
+
+    Recovery policy: prefer a free region on the same Worker, then any
+    Worker in the UNILOGIC domain (the paper's accelerator-migration
+    virtualization feature doing double duty as repair).
+    """
+
+    def __init__(
+        self,
+        node: ComputeNode,
+        unilogic: UnilogicDomain,
+        library,
+        injector: FaultInjector,
+        check_period_ns: float = 50_000.0,
+    ) -> None:
+        if check_period_ns <= 0:
+            raise ValueError("check period must be positive")
+        self.node = node
+        self.unilogic = unilogic
+        self.library = library
+        self.injector = injector
+        self.check_period_ns = check_period_ns
+        self.recoveries = 0
+        self.unrecoverable: List[FaultRecord] = []
+        self._running = True
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _pending(self) -> List[FaultRecord]:
+        return [
+            r
+            for r in self.injector.records
+            if r.recovered_at is None
+            and r.function is not None
+            and r not in self.unrecoverable
+        ]
+
+    def recover_one(self, record: FaultRecord) -> Generator:
+        """Reload the lost function somewhere; returns the region or None."""
+        # already re-hosted elsewhere (e.g. another replica survived)?
+        existing = self.unilogic.hosting_regions(record.function)
+        if existing:
+            host, region = existing[0]
+            record.recovered_at = self.node.sim.now
+            record.recovery_worker = host
+            self.recoveries += 1
+            return region
+        module = self.library.best_variant(record.function)
+        if module is None:
+            self.unrecoverable.append(record)
+            return None
+        # same worker first, then the rest of the domain
+        order = [record.worker_id] + [
+            w.worker_id for w in self.node.workers if w.worker_id != record.worker_id
+        ]
+        for worker_id in order:
+            worker = self.node.worker(worker_id)
+            candidate = worker.fabric.victim_region(module)
+            if candidate is None:
+                continue
+            if self.injector.is_failed(worker_id, candidate.region_id):
+                continue
+            region = yield from worker.load_module(module, candidate)
+            if region is not None:
+                record.recovered_at = self.node.sim.now
+                record.recovery_worker = worker_id
+                self.recoveries += 1
+                return region
+        self.unrecoverable.append(record)
+        return None
+
+    def run(self) -> Generator:
+        """Periodic repair loop (spawn as a simulation process)."""
+        while self._running:
+            yield Timeout(self.check_period_ns)
+            if not self._running:
+                return
+            for record in self._pending():
+                yield from self.recover_one(record)
+
+    # ------------------------------------------------------------------
+    def mean_recovery_ns(self) -> float:
+        done = [r.recovery_ns for r in self.injector.records if r.recovery_ns is not None]
+        return sum(done) / len(done) if done else 0.0

@@ -1,0 +1,68 @@
+"""The ECOSCALE runtime system (Fig. 5).
+
+Per Section 4.2:
+
+- one scheduler per Worker with local work queues
+  (:mod:`repro.core.runtime.scheduler`, :mod:`repro.core.runtime.lazy`),
+- a work-and-data distribution algorithm in the Execution Engine
+  (:mod:`repro.core.runtime.distribution`,
+  :mod:`repro.core.runtime.engine`),
+- an Execution History store consulted by a periodic runtime daemon that
+  "decides at runtime what functions should be loaded on the
+  reconfiguration block" (:mod:`repro.core.runtime.history`,
+  :mod:`repro.core.runtime.daemon`),
+- input-dependent execution-time/energy models (regression, PCA, kNN)
+  used to "select the best device to execute a function"
+  (:mod:`repro.core.runtime.models`).
+"""
+
+from repro.core.runtime.cluster_engine import ClusterEngine, ClusterRunReport
+from repro.core.runtime.daemon import DaemonStats, ReconfigurationDaemon
+from repro.core.runtime.distribution import DistributionPolicy, WorkDistributor
+from repro.core.runtime.engine import ExecutionEngine, RunReport
+from repro.core.runtime.history import ExecutionHistory, ExecutionRecord
+from repro.core.runtime.lazy import LazyStatusTracker, LocalWorkQueue
+from repro.core.runtime.monitoring import (
+    CallProfile,
+    CounterSnapshot,
+    FunctionInstrumentation,
+    ModelActuator,
+    PerformanceMonitor,
+    Projection,
+)
+from repro.core.runtime.models import (
+    DeviceSelector,
+    KnnPredictor,
+    LinearModel,
+    PcaRegressor,
+    kernel_features,
+)
+from repro.core.runtime.scheduler import WorkItem, WorkerScheduler
+
+__all__ = [
+    "CallProfile",
+    "ClusterEngine",
+    "ClusterRunReport",
+    "CounterSnapshot",
+    "DaemonStats",
+    "FunctionInstrumentation",
+    "ModelActuator",
+    "PerformanceMonitor",
+    "Projection",
+    "DeviceSelector",
+    "DistributionPolicy",
+    "ExecutionEngine",
+    "ExecutionHistory",
+    "ExecutionRecord",
+    "KnnPredictor",
+    "LazyStatusTracker",
+    "LinearModel",
+    "LocalWorkQueue",
+    "PcaRegressor",
+    "ReconfigurationDaemon",
+    "RunReport",
+    "WorkDistributor",
+    "WorkItem",
+    "WorkerScheduler",
+    "kernel_features",
+]

@@ -1,0 +1,160 @@
+"""The machine-level execution engine.
+
+Runs one task graph across *all* Compute Nodes of a
+:class:`~repro.core.Machine`, realizing the paper's split of concerns:
+the per-node runtime "schedules tasks inside a PGAS partition" while MPI
+"provides the ... primitives for communication between PGAS partitions"
+(Section 4).  Tasks carry machine-global affinities; the cluster engine
+assigns each to its Compute Node (the PGAS partition of Fig. 1), the
+node's own Execution Engine distributes it among Workers, and layer
+boundaries that span nodes cost a world barrier on the inter-node tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.apps.taskgraph import Task, TaskGraph
+from repro.core.machine import Machine
+from repro.core.runtime.engine import ExecutionEngine, RunReport
+from repro.core.worker import FunctionRegistry
+from repro.fabric.module_library import ModuleLibrary
+from repro.sim import AllOf, Timeout, spawn
+
+
+@dataclass
+class ClusterRunReport:
+    """Aggregate of one machine-wide run."""
+
+    makespan_ns: float
+    tasks: int
+    barrier_ns_total: float
+    barriers: int
+    node_reports: List[RunReport] = field(default_factory=list)
+
+    @property
+    def sw_calls(self) -> int:
+        return sum(r.sw_calls for r in self.node_reports)
+
+    @property
+    def hw_calls(self) -> int:
+        return sum(r.hw_calls for r in self.node_reports)
+
+    @property
+    def energy_pj(self) -> float:
+        return sum(r.energy_pj for r in self.node_reports)
+
+    @property
+    def barrier_fraction(self) -> float:
+        if self.makespan_ns <= 0:
+            return 0.0
+        return self.barrier_ns_total / self.makespan_ns
+
+
+class ClusterEngine:
+    """One Execution Engine per Compute Node + inter-node coordination."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        registry: FunctionRegistry,
+        library: Optional[ModuleLibrary] = None,
+        **engine_kwargs,
+    ) -> None:
+        self.machine = machine
+        self.registry = registry
+        self.engines: List[ExecutionEngine] = [
+            ExecutionEngine(node, registry, library, **engine_kwargs)
+            for node in machine.nodes
+        ]
+        self.barrier_ns_total = 0.0
+        self.barriers = 0
+        self.cross_node_fetches = 0
+        self.cross_node_fetch_ns = 0.0
+
+    # ------------------------------------------------------------------
+    def _localize(self, task: Task) -> tuple:
+        """Map a machine-global task onto (node_id, local task, fetch_ns).
+
+        ``fetch_ns`` is the cost of pulling the task's input from another
+        Compute Node (0 when the data is already on the assigned node);
+        inside the node the working copy then lives with the task.
+        """
+        workers_per_node = len(self.machine.node(0))
+        total = workers_per_node * len(self.machine)
+        affinity = task.affinity_worker % total
+        data = task.data_worker % total
+        node_id = affinity // workers_per_node
+        data_node = data // workers_per_node
+        local_worker = affinity % workers_per_node
+        fetch_ns = 0.0
+        if data_node != node_id and task.input_bytes:
+            fetch_ns, _ = self.machine.cross_node_access_cost(
+                data_node, data % workers_per_node,
+                node_id, local_worker, task.input_bytes,
+            )
+            self.cross_node_fetches += 1
+            self.cross_node_fetch_ns += fetch_ns
+        local = dataclasses.replace(
+            task,
+            affinity_worker=local_worker,
+            data_worker=(
+                data % workers_per_node if data_node == node_id else local_worker
+            ),
+            deps=(),  # dependences are enforced by the layer barrier
+        )
+        return node_id, local, fetch_ns
+
+    def _driver(self, graph: TaskGraph, out: Dict) -> Generator:
+        layers = graph.layers()
+        for depth, layer in enumerate(layers):
+            by_node: Dict[int, List[Task]] = {}
+            worst_fetch = 0.0
+            for task in layer:
+                node_id, local, fetch_ns = self._localize(task)
+                by_node.setdefault(node_id, []).append(local)
+                worst_fetch = max(worst_fetch, fetch_ns)
+            if worst_fetch > 0:
+                # cross-node input fetches overlap with each other; the
+                # layer cannot start computing before the slowest lands
+                yield Timeout(worst_fetch)
+            items = []
+            for node_id, tasks in by_node.items():
+                items.extend(self.engines[node_id].submit_layer(tasks))
+            yield AllOf([item.done for item in items])
+            # a layer spanning several nodes synchronizes through MPI
+            if len(by_node) > 1 and depth < len(layers) - 1:
+                barrier = self.machine.world.barrier()
+                self.barrier_ns_total += barrier.latency_ns
+                self.barriers += 1
+                yield Timeout(barrier.latency_ns)
+        out["at"] = self.machine.sim.now
+
+    # ------------------------------------------------------------------
+    def run_graph(self, graph: TaskGraph) -> ClusterRunReport:
+        sim = self.machine.sim
+        start = sim.now
+        for engine in self.engines:
+            engine.start()
+        out: Dict = {}
+
+        def main() -> Generator:
+            yield from self._driver(graph, out)
+            for engine in self.engines:
+                engine.stop()
+
+        spawn(sim, main(), name="cluster-engine")
+        sim.run()
+        makespan = out.get("at", sim.now) - start
+        node_reports = [
+            engine._report(graph, makespan) for engine in self.engines
+        ]
+        return ClusterRunReport(
+            makespan_ns=makespan,
+            tasks=len(graph),
+            barrier_ns_total=self.barrier_ns_total,
+            barriers=self.barriers,
+            node_reports=node_reports,
+        )

@@ -1,0 +1,132 @@
+"""The reconfiguration daemon.
+
+"The runtime scheduler/daemon will read periodically the system status
+and the History file in order to decide at runtime what functions should
+be loaded on the reconfiguration block."
+
+Every ``period_ns`` the daemon ranks recently-called functions by the
+*benefit* of hardware acceleration -- recent call volume times the
+predicted per-call saving (software minus hardware latency at the
+function's typical size) -- and loads the best-fitting module variants
+for the top functions into the domain's regions, preferring Workers
+whose fabric is idle and evicting least-recently-used modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from repro.core.compute_node import ComputeNode
+from repro.core.runtime.history import ExecutionHistory
+from repro.core.unilogic import UnilogicDomain
+from repro.core.worker import FunctionRegistry
+from repro.fabric.module_library import ModuleLibrary
+from repro.fabric.region import RegionState
+from repro.sim import Timeout
+
+
+@dataclass
+class DaemonStats:
+    evaluations: int = 0
+    loads_triggered: int = 0
+    functions_loaded: List[str] = field(default_factory=list)
+
+
+class ReconfigurationDaemon:
+    """Periodic history-driven module loader."""
+
+    def __init__(
+        self,
+        node: ComputeNode,
+        unilogic: UnilogicDomain,
+        library: ModuleLibrary,
+        registry: FunctionRegistry,
+        history: ExecutionHistory,
+        period_ns: float = 500_000.0,
+        window_ns: Optional[float] = None,
+        max_loads_per_period: int = 2,
+        min_benefit_ns: float = 0.0,
+    ) -> None:
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        if max_loads_per_period < 1:
+            raise ValueError("max_loads_per_period must be >= 1")
+        self.node = node
+        self.unilogic = unilogic
+        self.library = library
+        self.registry = registry
+        self.history = history
+        self.period_ns = period_ns
+        self.window_ns = window_ns if window_ns is not None else 4 * period_ns
+        self.max_loads_per_period = max_loads_per_period
+        self.min_benefit_ns = min_benefit_ns
+        self.stats = DaemonStats()
+        self._running = True
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def rank_candidates(self) -> List[Tuple[float, str]]:
+        """(benefit_ns, function) for unhosted, acceleratable functions."""
+        since = max(0.0, self.node.sim.now - self.window_ns)
+        counts = self.history.call_counts(since=since)
+        hosted = set()
+        for w in self.node.workers:
+            hosted.update(w.fabric.loaded_functions())
+        out = []
+        for function, calls in counts.items():
+            if function in hosted or function not in self.library:
+                continue
+            recs = self.history.records(function, since=since)
+            mean_items = sum(r.items for r in recs) / len(recs)
+            items = max(1, int(mean_items))
+            sw_ns = self.history.mean_latency(function, "sw")
+            if sw_ns is None:
+                continue
+            module = self.library.best_variant(function, items_hint=items)
+            if module is None:
+                continue
+            hw_ns = module.latency_ns(items)
+            benefit = calls * (sw_ns - hw_ns)
+            if benefit > self.min_benefit_ns:
+                out.append((benefit, function))
+        out.sort(reverse=True)
+        return out
+
+    def _target_worker(self):
+        """Prefer the Worker with the most idle fabric (fewest READY
+        regions), ties to lowest id."""
+        def idle_key(w):
+            ready = sum(
+                1 for r in w.fabric.regions if r.state is not RegionState.EMPTY
+            )
+            return (ready, w.worker_id)
+
+        return min(self.node.workers, key=idle_key)
+
+    def evaluate(self) -> Generator:
+        """One evaluation pass (a simulation process -- loads take time)."""
+        self.stats.evaluations += 1
+        for benefit, function in self.rank_candidates()[: self.max_loads_per_period]:
+            worker = self._target_worker()
+            capacity = max(
+                (r.capacity for r in worker.fabric.regions),
+                key=lambda c: c.area_units(),
+            )
+            module = self.library.best_variant(function, capacity=capacity)
+            if module is None:
+                continue
+            region = yield from worker.load_module(module)
+            if region is not None:
+                self.stats.loads_triggered += 1
+                self.stats.functions_loaded.append(function)
+
+    def run(self) -> Generator:
+        """The daemon's periodic loop (spawn as a simulation process)."""
+        while self._running:
+            yield Timeout(self.period_ns)
+            if not self._running:
+                return
+            yield from self.evaluate()

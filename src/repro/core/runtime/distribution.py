@@ -1,0 +1,85 @@
+"""The work-and-data distribution algorithm.
+
+"Whenever a function is called, a work and data distribution algorithm in
+the runtime system (included in the Execution Engine ...) will decide
+whether the function will be executed in software or in hardware based on
+the local status and the status of other Workers in the vicinity."
+
+:class:`WorkDistributor` answers the *where* question: which Worker's
+queue a task should join, trading data affinity (UNIMEM home of its
+working set) against believed load (from the lazy tracker).  The *how*
+(SW vs. HW) is the per-worker scheduler's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.taskgraph import Task
+from repro.core.compute_node import ComputeNode
+from repro.core.runtime.lazy import LazyStatusTracker, LocalWorkQueue
+
+
+@dataclass(frozen=True)
+class DistributionPolicy:
+    """Weights of the placement score (lower score wins).
+
+    ``transfer_penalty_ns_per_byte_hop`` prices moving the task's data;
+    ``load_penalty_ns`` prices one queued task ahead of us.
+    """
+
+    transfer_penalty_ns_per_byte_hop: float = 0.1
+    load_penalty_ns: float = 20_000.0
+    data_affinity_only: bool = False  # ablation: ignore load entirely
+
+
+class WorkDistributor:
+    """Chooses the execution Worker for each task."""
+
+    def __init__(
+        self,
+        node: ComputeNode,
+        queues: List[LocalWorkQueue],
+        tracker: LazyStatusTracker,
+        policy: DistributionPolicy = DistributionPolicy(),
+    ) -> None:
+        if len(queues) != len(node):
+            raise ValueError("one queue per worker required")
+        self.node = node
+        self.queues = queues
+        self.tracker = tracker
+        self.policy = policy
+        self.placements_local = 0   # task placed with its data
+        self.placements_remote = 0
+
+    def score(self, task: Task, worker: int, observer: int) -> float:
+        data_bytes = task.input_bytes + task.output_bytes
+        hops = self.node.hop_distance(task.data_worker, worker)
+        transfer = hops * data_bytes * self.policy.transfer_penalty_ns_per_byte_hop
+        if self.policy.data_affinity_only:
+            return transfer
+        load = self.tracker.estimated_load(observer, worker)
+        return transfer + load * self.policy.load_penalty_ns
+
+    def choose_worker(self, task: Task, observer: int = 0) -> int:
+        """The Worker whose (affinity + load) score is lowest."""
+        best = min(
+            range(len(self.queues)),
+            key=lambda w: (self.score(task, w, observer), w),
+        )
+        if best == task.data_worker:
+            self.placements_local += 1
+        else:
+            self.placements_remote += 1
+        return best
+
+    def dispatch(self, task: Task, observer: int = 0) -> int:
+        """Choose and enqueue; returns the chosen worker id."""
+        worker = self.choose_worker(task, observer)
+        self.queues[worker].push(task)
+        return worker
+
+    def locality_fraction(self) -> float:
+        total = self.placements_local + self.placements_remote
+        return self.placements_local / total if total else 1.0

@@ -1,0 +1,114 @@
+"""The Execution History (the 'History file' of Fig. 5).
+
+"A history of the function calls as well as their execution time is
+stored in a History file (Execution History block).  The runtime
+scheduler/daemon will read periodically the system status and the History
+file in order to decide at runtime what functions should be loaded on the
+reconfiguration block."
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One completed function call."""
+
+    function: str
+    device: str            # "sw" or "hw"
+    worker: int
+    items: int
+    latency_ns: float
+    energy_pj: float
+    timestamp: float       # simulated time of completion
+
+    def __post_init__(self) -> None:
+        if self.device not in ("sw", "hw"):
+            raise ValueError(f"device must be 'sw' or 'hw', got {self.device!r}")
+        if self.items < 1 or self.latency_ns < 0 or self.energy_pj < 0:
+            raise ValueError("invalid record fields")
+
+
+class ExecutionHistory:
+    """Append-only store of execution records with query helpers."""
+
+    def __init__(self, capacity: Optional[int] = 100_000) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._records: List[ExecutionRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, record: ExecutionRecord) -> None:
+        self._records.append(record)
+        if self.capacity is not None and len(self._records) > self.capacity:
+            del self._records[: len(self._records) - self.capacity]
+
+    def record(self, **kwargs) -> ExecutionRecord:
+        rec = ExecutionRecord(**kwargs)
+        self.append(rec)
+        return rec
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def records(
+        self,
+        function: Optional[str] = None,
+        device: Optional[str] = None,
+        since: Optional[float] = None,
+    ) -> List[ExecutionRecord]:
+        out = self._records
+        if function is not None:
+            out = [r for r in out if r.function == function]
+        if device is not None:
+            out = [r for r in out if r.device == device]
+        if since is not None:
+            out = [r for r in out if r.timestamp >= since]
+        return list(out)
+
+    def functions(self) -> List[str]:
+        return sorted({r.function for r in self._records})
+
+    def call_counts(self, since: Optional[float] = None) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.records(since=since):
+            counts[r.function] = counts.get(r.function, 0) + 1
+        return counts
+
+    def mean_latency(
+        self, function: str, device: Optional[str] = None
+    ) -> Optional[float]:
+        recs = self.records(function, device)
+        if not recs:
+            return None
+        return sum(r.latency_ns for r in recs) / len(recs)
+
+    def total_time_by_function(self, since: Optional[float] = None) -> Dict[str, float]:
+        """Aggregate busy time per function -- the daemon's hotness metric."""
+        out: Dict[str, float] = {}
+        for r in self.records(since=since):
+            out[r.function] = out.get(r.function, 0.0) + r.latency_ns
+        return out
+
+    # ------------------------------------------------------------------
+    # persistence (the literal History *file*)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        payload = [asdict(r) for r in self._records]
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path, capacity: Optional[int] = 100_000) -> "ExecutionHistory":
+        payload = json.loads(Path(path).read_text())
+        hist = cls(capacity)
+        for entry in payload:
+            hist.append(ExecutionRecord(**entry))
+        return hist

@@ -1,0 +1,180 @@
+"""Performance monitors and the model actuation loop.
+
+Section 4.2's three-part plan for the prediction models:
+
+1. a **training** part records "the target applications with different
+   realistic inputs ... and record[s] the corresponding execution time
+   and power outputs" -- the Execution History plus
+   :class:`FunctionInstrumentation` below (per-call input features);
+2. a **model building** part fits regression/PCA models --
+   :mod:`repro.core.runtime.models`;
+3. an **actuation** part deploys them "with actual running applications,
+   using hardware performance monitors and function instrumentation to
+   capture the static and dynamic properties of the unseen input, and
+   project execution time and power using the trained models" --
+   :class:`PerformanceMonitor` (HW counters) and :class:`ModelActuator`
+   (periodic retraining + projection) here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.runtime.history import ExecutionHistory
+from repro.core.runtime.models import DeviceSelector
+from repro.core.worker import Worker
+from repro.sim import Timeout
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """One reading of a Worker's hardware performance monitors."""
+
+    timestamp: float
+    sw_calls: int
+    hw_calls: int
+    cache_hits: int
+    cache_misses: int
+    dram_bytes: int
+    dram_row_hit_rate: float
+    reconfigurations: int
+    smmu_tlb_hit_rate: float
+
+    def delta(self, earlier: "CounterSnapshot") -> Dict[str, float]:
+        """Counter increments between two readings (rates stay absolute)."""
+        return {
+            "interval_ns": self.timestamp - earlier.timestamp,
+            "sw_calls": self.sw_calls - earlier.sw_calls,
+            "hw_calls": self.hw_calls - earlier.hw_calls,
+            "cache_hits": self.cache_hits - earlier.cache_hits,
+            "cache_misses": self.cache_misses - earlier.cache_misses,
+            "dram_bytes": self.dram_bytes - earlier.dram_bytes,
+            "reconfigurations": self.reconfigurations - earlier.reconfigurations,
+        }
+
+
+class PerformanceMonitor:
+    """Reads one Worker's counters (cache, DRAM, SMMU, fabric)."""
+
+    def __init__(self, worker: Worker) -> None:
+        self.worker = worker
+        self.snapshots: List[CounterSnapshot] = []
+
+    def read(self) -> CounterSnapshot:
+        w = self.worker
+        snap = CounterSnapshot(
+            timestamp=w.sim.now,
+            sw_calls=w.sw_calls,
+            hw_calls=w.hw_calls,
+            cache_hits=w.cache.stats.hits,
+            cache_misses=w.cache.stats.misses,
+            dram_bytes=w.dram.bytes_transferred,
+            dram_row_hit_rate=w.dram.row_hit_rate,
+            reconfigurations=w.reconfig.reconfigurations,
+            smmu_tlb_hit_rate=w.smmu.stats.tlb_hit_rate,
+        )
+        self.snapshots.append(snap)
+        return snap
+
+    def sample_loop(self, period_ns: float, samples: Optional[int] = None) -> Generator:
+        """Simulation process: read the counters every ``period_ns``."""
+        if period_ns <= 0:
+            raise ValueError("sampling period must be positive")
+        taken = 0
+        while samples is None or taken < samples:
+            yield Timeout(period_ns)
+            self.read()
+            taken += 1
+        return taken
+
+
+@dataclass(frozen=True)
+class CallProfile:
+    """Static+dynamic input properties captured by instrumentation."""
+
+    function: str
+    items: int
+    input_bytes: int = 0
+    output_bytes: int = 0
+    data_local: bool = True
+
+
+class FunctionInstrumentation:
+    """Per-call feature capture (the 'function instrumentation' hooks)."""
+
+    def __init__(self) -> None:
+        self.profiles: List[CallProfile] = []
+
+    def observe(self, profile: CallProfile) -> CallProfile:
+        if profile.items < 1:
+            raise ValueError("profile must cover at least one item")
+        self.profiles.append(profile)
+        return profile
+
+    def typical_items(self, function: str) -> Optional[int]:
+        items = [p.items for p in self.profiles if p.function == function]
+        if not items:
+            return None
+        return int(sum(items) / len(items))
+
+
+@dataclass
+class Projection:
+    """The actuator's answer for one prospective call."""
+
+    function: str
+    items: int
+    sw_latency_ns: Optional[float]
+    hw_latency_ns: Optional[float]
+    sw_energy_pj: Optional[float]
+    hw_energy_pj: Optional[float]
+
+    @property
+    def recommended_device(self) -> Optional[str]:
+        if self.sw_latency_ns is None or self.hw_latency_ns is None:
+            return None
+        return "hw" if self.hw_latency_ns < self.sw_latency_ns else "sw"
+
+
+class ModelActuator:
+    """Deploys trained models against live traffic.
+
+    Retrains from the (growing) Execution History whenever ``observe``
+    has seen ``retrain_every`` new completions, and answers projection
+    queries from the freshest models.
+    """
+
+    def __init__(
+        self,
+        history: ExecutionHistory,
+        selector: Optional[DeviceSelector] = None,
+        retrain_every: int = 16,
+    ) -> None:
+        if retrain_every < 1:
+            raise ValueError("retrain_every must be >= 1")
+        self.history = history
+        self.selector = selector or DeviceSelector(min_samples=5)
+        self.retrain_every = retrain_every
+        self.instrumentation = FunctionInstrumentation()
+        self._seen = 0
+        self.retrains = 0
+
+    def observe(self, profile: CallProfile) -> None:
+        """Feed one completed, history-recorded call's profile."""
+        self.instrumentation.observe(profile)
+        self._seen += 1
+        if self._seen % self.retrain_every == 0:
+            self.selector.train(self.history)
+            self.retrains += 1
+
+    def project(self, function: str, items: int) -> Projection:
+        """Project execution time and energy for an unseen input size."""
+        return Projection(
+            function=function,
+            items=items,
+            sw_latency_ns=self.selector.predict_latency(function, "sw", items),
+            hw_latency_ns=self.selector.predict_latency(function, "hw", items),
+            sw_energy_pj=self.selector.predict_energy(function, "sw", items),
+            hw_energy_pj=self.selector.predict_energy(function, "hw", items),
+        )

@@ -1,0 +1,180 @@
+"""The per-Worker scheduler.
+
+"We will implement one scheduler per worker, which will manage the local
+reconfigurable blocks and the execution of the accelerated functions."
+
+Each :class:`WorkerScheduler` drains its local work queue.  For every
+task it makes the SW/HW decision (Fig. 5's Execution Engine box):
+
+1. if the trained :class:`~repro.core.runtime.models.DeviceSelector` has
+   confident models for both devices, follow its choice;
+2. otherwise compare analytic estimates: the software cost model vs. the
+   best loaded module's latency (plus remote-invocation penalty);
+3. a hardware choice is only honoured when some region in the UNILOGIC
+   domain actually hosts the function -- loading new modules is the
+   reconfiguration daemon's job, not the scheduler's.
+
+Every completed call is appended to the Execution History.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.apps.taskgraph import Task
+from repro.core.compute_node import ComputeNode
+from repro.core.runtime.history import ExecutionHistory
+from repro.core.runtime.lazy import LocalWorkQueue
+from repro.core.runtime.models import DeviceSelector
+from repro.core.unilogic import UnilogicDomain
+from repro.core.worker import FunctionRegistry
+from repro.interconnect.message import TransactionType
+from repro.sim import Signal
+
+
+@dataclass
+class WorkItem:
+    """A task plus its completion signal (the engine joins on it)."""
+
+    task: Task
+    done: Signal
+    device_used: Optional[str] = None
+    latency_ns: float = 0.0
+
+
+_SHUTDOWN = object()
+
+
+class WorkerScheduler:
+    """Drains one Worker's queue, deciding SW vs. HW per task."""
+
+    def __init__(
+        self,
+        node: ComputeNode,
+        worker_id: int,
+        queue: LocalWorkQueue,
+        unilogic: UnilogicDomain,
+        registry: FunctionRegistry,
+        history: ExecutionHistory,
+        selector: Optional[DeviceSelector] = None,
+        energy_weight: float = 0.0,
+        allow_hardware: bool = True,
+        tracer=None,
+    ) -> None:
+        self.node = node
+        self.worker_id = worker_id
+        self.worker = node.worker(worker_id)
+        self.queue = queue
+        self.unilogic = unilogic
+        self.registry = registry
+        self.history = history
+        self.selector = selector
+        self.energy_weight = energy_weight
+        self.allow_hardware = allow_hardware
+        self.tracer = tracer
+        self.tasks_done = 0
+        self.hw_chosen = 0
+        self.sw_chosen = 0
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        self.queue.store.put(_SHUTDOWN)
+
+    def submit(self, task: Task) -> WorkItem:
+        item = WorkItem(task=task, done=Signal(self.node.sim))
+        self.queue.push(item)  # type: ignore[arg-type]
+        return item
+
+    # ------------------------------------------------------------------
+    def _decide_device(self, task: Task) -> str:
+        function = task.function
+        hw_hosted = (
+            self.allow_hardware
+            and self.unilogic.nearest_region(function, task.data_worker) is not None
+        )
+        if not hw_hosted:
+            return "sw"
+        if self.selector is not None:
+            choice = self.selector.choose_device(
+                function, task.items, self.energy_weight
+            )
+            if choice is not None:
+                return choice
+        # analytic fallback
+        kernel = self.registry.kernel(function)
+        sw_ns = self.worker.software_latency_ns(kernel, task.items)
+        host_worker, region = self.unilogic.nearest_region(function, task.data_worker)
+        hw_ns = region.module.latency_ns(task.items)
+        if host_worker != task.data_worker:
+            # remote ACE-lite penalty: data crosses the NoC uncached
+            bytes_total = task.input_bytes + task.output_bytes
+            hops = self.node.hop_distance(task.data_worker, host_worker)
+            hw_ns += hops * 10.0 + bytes_total / 4.0  # rough NoC serialization
+        return "hw" if hw_ns < sw_ns else "sw"
+
+    def _execute(self, item: WorkItem) -> Generator:
+        task = item.task
+        kernel = self.registry.kernel(task.function)
+        device = self._decide_device(task)
+        start = self.node.sim.now
+        if device == "hw":
+            self.hw_chosen += 1
+            bpi = max(1, int(kernel.bytes_per_iteration()))
+            yield from self.unilogic.invoke(
+                task.function,
+                caller_worker=self.worker_id,
+                items=task.items,
+                data_worker=task.data_worker,
+                bytes_per_item=bpi,
+            )
+            host_worker, region = self.unilogic.nearest_region(
+                task.function, task.data_worker
+            ) or (self.worker_id, None)
+            energy = (
+                region.module.energy_pj(task.items) if region is not None else 0.0
+            )
+        else:
+            self.sw_chosen += 1
+            # software runs here; pull remote data through UNIMEM first
+            if task.data_worker != self.worker_id:
+                yield from self.node.transfer(
+                    task.data_worker,
+                    self.worker_id,
+                    task.input_bytes,
+                    TransactionType.DMA,
+                )
+            yield from self.worker.run_software(kernel, task.items)
+            energy = self.worker.params.software.energy_pj(kernel, task.items)
+
+        latency = self.node.sim.now - start
+        item.device_used = device
+        item.latency_ns = latency
+        self.history.record(
+            function=task.function,
+            device=device,
+            worker=self.worker_id,
+            items=task.items,
+            latency_ns=latency,
+            energy_pj=energy,
+            timestamp=self.node.sim.now,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        """The scheduler's main loop (spawn as a simulation process)."""
+        lane = self.worker.name
+        while True:
+            item = yield self.queue.pop()
+            if item is _SHUTDOWN:
+                return self.tasks_done
+            span_name = None
+            if self.tracer is not None:
+                span_name = f"{item.task.function}#{item.task.task_id}"
+                self.tracer.begin(lane, span_name)
+            yield from self._execute(item)
+            if self.tracer is not None and span_name is not None:
+                self.tracer.end(lane, span_name)
+            self.queue.mark_done()
+            self.tasks_done += 1
+            item.done.succeed(item)

@@ -1,0 +1,101 @@
+"""The paper's exascale power extrapolation (Section 1).
+
+    "Extrapolating from the top HPC systems, such as China's Tianhe-2
+    Supercomputer, we estimate that sustaining exaflop performance
+    requires an enormous 1 GW power.  Similar, albeit smaller, figures
+    are obtained by extrapolating even the best system of the Green 500
+    list as an initial reference."
+
+The extrapolation is a naive efficiency hold with a scaling-overhead
+exponent: power grows slightly super-linearly in delivered FLOPS because
+interconnect, memory and cooling overheads grow with machine scale
+(observable across TOP500 generations).  With the paper-era numbers --
+Tianhe-2 at 33.86 PFLOP/s Linpack and 17.8 MW (24 MW with cooling) --
+the total-facility extrapolation lands at the paper's ~1 GW figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+EXAFLOP = 1e18
+
+
+@dataclass(frozen=True)
+class ReferenceSystem:
+    """A named (performance, power) reference point."""
+
+    name: str
+    rmax_flops: float            # sustained Linpack FLOP/s
+    power_mw: float              # system power, MW
+    cooling_overhead: float = 1.0  # facility multiplier (PUE-like)
+
+    def __post_init__(self) -> None:
+        if self.rmax_flops <= 0 or self.power_mw <= 0:
+            raise ValueError("performance and power must be positive")
+        if self.cooling_overhead < 1.0:
+            raise ValueError("cooling overhead must be >= 1")
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return (self.rmax_flops / 1e9) / (self.power_mw * 1e6)
+
+
+#: Tianhe-2 (TOP500 #1 of the paper's era): 33.86 PFLOP/s, 17.8 MW
+#: (24 MW including cooling).
+TIANHE2 = ReferenceSystem(
+    name="Tianhe-2",
+    rmax_flops=33.86e15,
+    power_mw=17.8,
+    cooling_overhead=24.0 / 17.8,
+)
+
+#: Shoubu (Green500 #1, June 2015): ~7.03 GFLOPS/W.
+GREEN500_2015_LEADER = ReferenceSystem(
+    name="Shoubu",
+    rmax_flops=0.606e15,
+    power_mw=0.0864,  # ~86.4 kW measured segment
+    cooling_overhead=1.1,
+)
+
+
+def extrapolate_power_mw(
+    reference: ReferenceSystem,
+    target_flops: float = EXAFLOP,
+    scaling_overhead_exponent: float = 1.08,
+    include_cooling: bool = True,
+) -> float:
+    """Power (MW) to reach ``target_flops`` holding the reference's
+    efficiency, with super-linear scaling overhead.
+
+    ``power = ref_power * (target/ref_perf) ** exponent``; the default
+    exponent 1.08 reflects the observed efficiency erosion when scaling
+    out (interconnect + memory growing faster than compute).
+    """
+    if target_flops <= 0:
+        raise ValueError("target performance must be positive")
+    if scaling_overhead_exponent < 1.0:
+        raise ValueError("scaling overhead exponent must be >= 1")
+    ratio = target_flops / reference.rmax_flops
+    power = reference.power_mw * ratio ** scaling_overhead_exponent
+    if include_cooling:
+        power *= reference.cooling_overhead
+    return power
+
+
+def efficiency_required_for(
+    target_flops: float = EXAFLOP, power_budget_mw: float = 20.0
+) -> float:
+    """GFLOPS/W needed to hit ``target_flops`` inside ``power_budget_mw``
+    (the DOE's canonical 20 MW exascale envelope) -- the gap ECOSCALE's
+    reconfigurable-accelerator approach is aimed at."""
+    if target_flops <= 0 or power_budget_mw <= 0:
+        raise ValueError("target and budget must be positive")
+    return (target_flops / 1e9) / (power_budget_mw * 1e6)
+
+
+def speedup_needed(reference: ReferenceSystem, target_flops: float = EXAFLOP) -> float:
+    """Concurrency/performance multiplier vs. the reference ("a 1000x
+    increase in today's concurrency will be necessary", Section 2)."""
+    return target_flops / reference.rmax_flops

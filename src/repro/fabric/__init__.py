@@ -1,0 +1,53 @@
+"""The reconfigurable fabric substrate.
+
+Models the FPGA side of an ECOSCALE Worker: partially-reconfigurable
+regions, configuration frames and bitstreams (with real compression, per
+Koch et al. [11]), a GoAhead-style floorplanner [10] that turns synthesized
+netlist resource demands into minimal bounding boxes, a module library,
+and the configuration port through which partial bitstreams are loaded.
+
+Fine-grain sharing -- "a function implemented in hardware can be 'called'
+by different tasks or threads ... in parallel, through the Virtualization
+block" (Section 4.1) -- is modelled by
+:class:`~repro.fabric.virtualization.VirtualizedAccelerator`, which
+pipelines invocations from many callers at the module's initiation
+interval.
+"""
+
+from repro.fabric.bitstream import (
+    Bitstream,
+    CompressedBitstream,
+    compress_rle,
+    decompress_rle,
+    synthesize_config_data,
+)
+from repro.fabric.floorplan import Floorplanner, Placement, TileGrid
+from repro.fabric.module_library import AcceleratorModule, ModuleLibrary
+from repro.fabric.region import Fabric, Region, RegionState
+from repro.fabric.reconfiguration import ConfigPort, ReconfigurationController
+from repro.fabric.resources import ResourceVector
+from repro.fabric.scrubber import ConfigScrubber, UpsetRecord
+from repro.fabric.virtualization import Invocation, VirtualizedAccelerator
+
+__all__ = [
+    "AcceleratorModule",
+    "Bitstream",
+    "CompressedBitstream",
+    "ConfigScrubber",
+    "ConfigPort",
+    "Fabric",
+    "Floorplanner",
+    "Invocation",
+    "ModuleLibrary",
+    "Placement",
+    "ReconfigurationController",
+    "Region",
+    "RegionState",
+    "ResourceVector",
+    "TileGrid",
+    "UpsetRecord",
+    "VirtualizedAccelerator",
+    "compress_rle",
+    "decompress_rle",
+    "synthesize_config_data",
+]

@@ -1,0 +1,158 @@
+"""GoAhead-style floorplanning for partially reconfigurable modules.
+
+The ECOSCALE Physical Implementation Tool "extends the existing GoAhead
+framework" and performs "resource budgeting, floorplanning, communication
+infrastructure synthesis and physical constraint generation ... By
+minimizing module bounding boxes ... we will reduce memory requirements,
+configuration latency and configuration power consumption" (Section 4.3).
+
+The fabric is a column-structured tile grid like a real FPGA: most
+columns are CLBs, with periodic BRAM and DSP columns.  The floorplanner
+scans candidate bounding boxes (full-height column spans, matching
+frame-based partial reconfiguration granularity) and picks the narrowest
+span satisfying a module's :class:`ResourceVector` -- minimizing exactly
+the quantity that determines bitstream size: the number of configuration
+frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.fabric.resources import ResourceVector
+
+#: resources provided by one tile of each column type, per grid row
+_TILE_RESOURCES = {
+    "clb": ResourceVector(luts=8, ffs=16),
+    "bram": ResourceVector(brams=1),
+    "dsp": ResourceVector(dsps=1),
+}
+
+#: configuration frames per column (independent of type, first order)
+FRAMES_PER_COLUMN = 4
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A column-structured fabric: ``columns[i]`` is a column type string.
+
+    The default pattern mirrors mid-size Zynq-class parts: a BRAM column
+    every 6 columns and a DSP column every 7, CLBs elsewhere.
+    """
+
+    columns: Tuple[str, ...]
+    rows: int = 50
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or not self.columns:
+            raise ValueError("grid needs at least one row and one column")
+        for c in self.columns:
+            if c not in _TILE_RESOURCES:
+                raise ValueError(f"unknown column type {c!r}")
+
+    @classmethod
+    def standard(cls, num_columns: int = 60, rows: int = 50) -> "TileGrid":
+        cols = []
+        for i in range(num_columns):
+            if i % 7 == 3:
+                cols.append("dsp")
+            elif i % 6 == 2:
+                cols.append("bram")
+            else:
+                cols.append("clb")
+        return cls(tuple(cols), rows)
+
+    def column_resources(self, index: int) -> ResourceVector:
+        return _TILE_RESOURCES[self.columns[index]] * self.rows
+
+    def span_resources(self, start: int, width: int) -> ResourceVector:
+        total = ResourceVector()
+        for i in range(start, start + width):
+            total = total + self.column_resources(i)
+        return total
+
+    @property
+    def total_resources(self) -> ResourceVector:
+        return self.span_resources(0, len(self.columns))
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A chosen bounding box: a contiguous column span."""
+
+    start_column: int
+    width: int
+    resources: ResourceVector
+
+    @property
+    def frames(self) -> int:
+        return self.width * FRAMES_PER_COLUMN
+
+    def overlaps(self, other: "Placement") -> bool:
+        return (
+            self.start_column < other.start_column + other.width
+            and other.start_column < self.start_column + self.width
+        )
+
+
+class Floorplanner:
+    """Minimal-bounding-box placement onto a :class:`TileGrid`."""
+
+    def __init__(self, grid: TileGrid) -> None:
+        self.grid = grid
+
+    def smallest_span(
+        self,
+        demand: ResourceVector,
+        forbidden: Optional[List[Placement]] = None,
+    ) -> Optional[Placement]:
+        """The narrowest free column span covering ``demand``.
+
+        Returns ``None`` when nothing fits.  Ties are broken leftmost,
+        keeping free space consolidated (less fragmentation).
+        """
+        ncols = len(self.grid.columns)
+        occupied = forbidden or []
+        best: Optional[Placement] = None
+        for width in range(1, ncols + 1):
+            for start in range(0, ncols - width + 1):
+                candidate = Placement(start, width, self.grid.span_resources(start, width))
+                if any(candidate.overlaps(p) for p in occupied):
+                    continue
+                if demand.fits_in(candidate.resources):
+                    best = candidate
+                    break
+            if best is not None:
+                break
+        return best
+
+    def budget_regions(self, region_count: int) -> List[Placement]:
+        """Resource budgeting: carve the grid into ``region_count`` equal
+        column spans -- the static region layout the middleware manages."""
+        if region_count < 1:
+            raise ValueError("need at least one region")
+        ncols = len(self.grid.columns)
+        if region_count > ncols:
+            raise ValueError(
+                f"cannot carve {region_count} regions out of {ncols} columns"
+            )
+        base = ncols // region_count
+        extra = ncols % region_count
+        placements = []
+        start = 0
+        for r in range(region_count):
+            width = base + (1 if r < extra else 0)
+            placements.append(
+                Placement(start, width, self.grid.span_resources(start, width))
+            )
+            start += width
+        return placements
+
+    def fill_fraction(self, demand: ResourceVector, placement: Placement) -> float:
+        """How much of the bounding box the module actually uses -- this
+        drives bitstream compressibility (sparse boxes compress well)."""
+        if placement.resources.is_zero:
+            return 1.0
+        frac = demand.utilization_of(placement.resources)
+        return min(1.0, frac)

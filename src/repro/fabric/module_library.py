@@ -1,0 +1,203 @@
+"""The accelerator module library, including its on-disk form.
+
+The HLS tool "will generate at compile time a library with the hardware
+implementations of those functions that will be implemented on
+reconfigurable resources", transformed by the physical implementation
+tool "automatically into an accelerator module library" (Section 4.3).
+
+At runtime the library is what the reconfiguration daemon consults: for a
+given function it holds one or more *variants* (different
+area/performance trade-off points from the HLS design-space exploration),
+each with its placed bitstream and a calibrated invocation-latency model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.fabric.bitstream import FRAME_BYTES, Bitstream
+from repro.fabric.resources import ResourceVector
+
+
+@dataclass
+class AcceleratorModule:
+    """One hardware implementation variant of one function.
+
+    Timing model (classic pipelined-kernel form): processing ``n`` items
+    takes ``(pipeline_depth + (n - 1) * initiation_interval)`` fabric
+    cycles, at ``clock_ns`` per cycle, plus a fixed per-invocation setup.
+    """
+
+    name: str
+    function: str
+    resources: ResourceVector
+    bitstream: Bitstream
+    initiation_interval: int = 1
+    pipeline_depth: int = 8
+    clock_ns: float = 5.0          # 200 MHz fabric clock
+    setup_ns: float = 50.0         # register writes to start one call
+    energy_per_item_pj: float = 40.0
+    static_power_mw: float = 30.0
+    parallel_lanes: int = 1        # datapath duplication factor
+
+    def __post_init__(self) -> None:
+        if self.initiation_interval < 1 or self.pipeline_depth < 1:
+            raise ValueError("II and pipeline depth must be >= 1")
+        if self.clock_ns <= 0:
+            raise ValueError("clock period must be positive")
+        if self.parallel_lanes < 1:
+            raise ValueError("need at least one lane")
+
+    def latency_ns(self, items: int) -> float:
+        """Execution time for one invocation over ``items`` work items."""
+        if items <= 0:
+            raise ValueError(f"items must be positive, got {items}")
+        per_lane = (items + self.parallel_lanes - 1) // self.parallel_lanes
+        cycles = self.pipeline_depth + (per_lane - 1) * self.initiation_interval
+        return self.setup_ns + cycles * self.clock_ns
+
+    def throughput_items_per_us(self) -> float:
+        """Steady-state pipelined throughput."""
+        return 1000.0 * self.parallel_lanes / (self.initiation_interval * self.clock_ns)
+
+    def energy_pj(self, items: int, duration_ns: Optional[float] = None) -> float:
+        dynamic = items * self.energy_per_item_pj
+        dur = duration_ns if duration_ns is not None else self.latency_ns(items)
+        static = self.static_power_mw * dur  # mW * ns = pJ
+        return dynamic + static
+
+
+class ModuleLibrary:
+    """All compiled variants, indexed by function name."""
+
+    def __init__(self) -> None:
+        self._by_function: Dict[str, List[AcceleratorModule]] = {}
+
+    def add(self, module: AcceleratorModule) -> None:
+        variants = self._by_function.setdefault(module.function, [])
+        if any(v.name == module.name for v in variants):
+            raise ValueError(
+                f"module {module.name!r} already registered for {module.function!r}"
+            )
+        variants.append(module)
+
+    def functions(self) -> List[str]:
+        return sorted(self._by_function)
+
+    def variants(self, function: str) -> List[AcceleratorModule]:
+        return list(self._by_function.get(function, []))
+
+    def __contains__(self, function: str) -> bool:
+        return function in self._by_function
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_function.values())
+
+    def best_variant(
+        self,
+        function: str,
+        capacity: Optional[ResourceVector] = None,
+        items_hint: int = 1024,
+    ) -> Optional[AcceleratorModule]:
+        """The fastest variant (for a typical call size) that fits.
+
+        This is the lookup the runtime's reconfiguration daemon performs
+        when it decides to hardware-accelerate a function.
+        """
+        candidates = [
+            m
+            for m in self._by_function.get(function, [])
+            if capacity is None or m.resources.fits_in(capacity)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda m: m.latency_ns(items_hint))
+
+    def smallest_variant(self, function: str) -> Optional[AcceleratorModule]:
+        candidates = self._by_function.get(function, [])
+        if not candidates:
+            return None
+        return min(candidates, key=lambda m: m.resources.area_units())
+
+    # ------------------------------------------------------------------
+    # persistence: what the compile-time toolchain actually ships
+    # ------------------------------------------------------------------
+    def save(self, directory) -> int:
+        """Write the library to ``directory``: one compressed ``.bit.rle``
+        per module plus a ``manifest.json``.  Returns modules written."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = []
+        count = 0
+        for function in self.functions():
+            for module in self.variants(function):
+                filename = f"{module.name}.bit.rle".replace("/", "_")
+                compressed = module.bitstream.compress()
+                (directory / filename).write_bytes(compressed.data)
+                manifest.append(
+                    {
+                        "name": module.name,
+                        "function": module.function,
+                        "bitstream_file": filename,
+                        "frames": module.bitstream.frames,
+                        "resources": {
+                            "luts": module.resources.luts,
+                            "ffs": module.resources.ffs,
+                            "brams": module.resources.brams,
+                            "dsps": module.resources.dsps,
+                        },
+                        "initiation_interval": module.initiation_interval,
+                        "pipeline_depth": module.pipeline_depth,
+                        "clock_ns": module.clock_ns,
+                        "setup_ns": module.setup_ns,
+                        "energy_per_item_pj": module.energy_per_item_pj,
+                        "static_power_mw": module.static_power_mw,
+                        "parallel_lanes": module.parallel_lanes,
+                    }
+                )
+                count += 1
+        (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        return count
+
+    @classmethod
+    def load(cls, directory) -> "ModuleLibrary":
+        """Reload a library written by :meth:`save` (bitstreams are
+        decompressed and verified against the recorded frame counts)."""
+        from repro.fabric.bitstream import decompress_rle
+
+        directory = Path(directory)
+        manifest_path = directory / "manifest.json"
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no manifest.json in {directory}")
+        library = cls()
+        for entry in json.loads(manifest_path.read_text()):
+            raw = decompress_rle((directory / entry["bitstream_file"]).read_bytes())
+            expected = entry["frames"] * FRAME_BYTES
+            if len(raw) != expected:
+                raise ValueError(
+                    f"bitstream {entry['name']!r} is {len(raw)}B, "
+                    f"manifest says {expected}B"
+                )
+            library.add(
+                AcceleratorModule(
+                    name=entry["name"],
+                    function=entry["function"],
+                    resources=ResourceVector(**entry["resources"]),
+                    bitstream=Bitstream(
+                        module_name=entry["name"],
+                        frames=entry["frames"],
+                        data=raw,
+                    ),
+                    initiation_interval=entry["initiation_interval"],
+                    pipeline_depth=entry["pipeline_depth"],
+                    clock_ns=entry["clock_ns"],
+                    setup_ns=entry["setup_ns"],
+                    energy_per_item_pj=entry["energy_per_item_pj"],
+                    static_power_mw=entry["static_power_mw"],
+                    parallel_lanes=entry["parallel_lanes"],
+                )
+            )
+        return library

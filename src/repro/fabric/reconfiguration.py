@@ -1,0 +1,116 @@
+"""The configuration port and partial-reconfiguration controller.
+
+Loading a partial bitstream streams it through the configuration port
+(ICAP/PCAP-class, one per Worker, serialized).  With compression enabled
+the port carries the *compressed* stream and a hardware decompressor
+reinflates at line rate -- so configuration latency, the DRAM traffic to
+fetch the bitstream, and configuration energy all shrink by the
+compression ratio (Section 4.3 / [11]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.fabric.bitstream import Bitstream, CompressedBitstream
+from repro.fabric.module_library import AcceleratorModule
+from repro.fabric.region import Fabric, Region, RegionState
+from repro.sim import Resource, Simulator
+
+
+@dataclass(frozen=True)
+class ConfigPort:
+    """Configuration-port characteristics (PCAP-class defaults)."""
+
+    bandwidth_gbps: float = 0.4          # 400 MB/s
+    energy_per_byte_pj: float = 5.0
+    decompressor_overhead_ns: float = 200.0  # pipeline fill of the HW decompressor
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("config port bandwidth must be positive")
+
+    def load_ns(self, stream: Union[Bitstream, CompressedBitstream]) -> float:
+        """Time to stream one bitstream through the port."""
+        t = stream.size_bytes / self.bandwidth_gbps
+        if isinstance(stream, CompressedBitstream):
+            t += self.decompressor_overhead_ns
+        return t
+
+    def load_energy_pj(self, stream: Union[Bitstream, CompressedBitstream]) -> float:
+        return stream.size_bytes * self.energy_per_byte_pj
+
+
+class ReconfigurationController:
+    """Serializes partial reconfigurations of one Worker's fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        port: ConfigPort = ConfigPort(),
+        use_compression: bool = True,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.port = port
+        self.use_compression = use_compression
+        self.name = name
+        self._port_lock = Resource(sim, capacity=1, name=f"{name}.cfgport")
+        self.reconfigurations = 0
+        self.evictions = 0
+        self.config_bytes = 0
+        self.config_energy_pj = 0.0
+        self.config_time_ns = 0.0
+
+    # ------------------------------------------------------------------
+    def load_cost_ns(self, module: AcceleratorModule) -> float:
+        """Analytic load latency for planning (no state change)."""
+        stream: Union[Bitstream, CompressedBitstream] = module.bitstream
+        if self.use_compression:
+            stream = module.bitstream.compress()
+        return self.port.load_ns(stream)
+
+    # ------------------------------------------------------------------
+    def load(self, module: AcceleratorModule, region: Optional[Region] = None):
+        """Simulation process: load ``module`` into a region.
+
+        ``yield from controller.load(module)``; returns the region, or
+        ``None`` when no region can host the module.
+        """
+        target = region if region is not None else self.fabric.victim_region(module)
+        if target is None:
+            return None
+        if not target.can_host(module):
+            raise ValueError(
+                f"module {module.name!r} does not fit region {target.region_id}"
+            )
+        if target.state is RegionState.READY:
+            self.evictions += 1
+
+        stream: Union[Bitstream, CompressedBitstream] = module.bitstream
+        if self.use_compression:
+            stream = module.bitstream.compress()
+
+        target.state = RegionState.LOADING
+        target.module = None
+        load_ns = self.port.load_ns(stream)
+        yield from self._port_lock.use(load_ns)
+
+        self.reconfigurations += 1
+        self.config_bytes += stream.size_bytes
+        self.config_energy_pj += self.port.load_energy_pj(stream)
+        self.config_time_ns += load_ns
+
+        target.module = module
+        target.state = RegionState.READY
+        target.loads += 1
+        target.last_used_at = self.sim.now
+        return target
+
+    def unload(self, region: Region) -> None:
+        """Blank a region (used by defragmentation / teardown)."""
+        region.module = None
+        region.state = RegionState.EMPTY

@@ -1,0 +1,72 @@
+"""FPGA resource vectors (LUTs, flip-flops, BRAMs, DSPs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A count of each FPGA primitive type.
+
+    Supports the arithmetic the HLS estimator and the floorplanner need:
+    addition (compose datapaths), integer scaling (duplication/unrolling)
+    and ``fits_in`` (placement feasibility).
+    """
+
+    luts: int = 0
+    ffs: int = 0
+    brams: int = 0
+    dsps: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.ffs, self.brams, self.dsps) < 0:
+            raise ValueError(f"resource counts must be non-negative: {self}")
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.brams + other.brams,
+            self.dsps + other.dsps,
+        )
+
+    def __mul__(self, k: int) -> "ResourceVector":
+        if k < 0:
+            raise ValueError(f"cannot scale resources by negative factor {k}")
+        return ResourceVector(self.luts * k, self.ffs * k, self.brams * k, self.dsps * k)
+
+    __rmul__ = __mul__
+
+    def fits_in(self, capacity: "ResourceVector") -> bool:
+        return (
+            self.luts <= capacity.luts
+            and self.ffs <= capacity.ffs
+            and self.brams <= capacity.brams
+            and self.dsps <= capacity.dsps
+        )
+
+    def utilization_of(self, capacity: "ResourceVector") -> float:
+        """The binding (maximum) utilization fraction across resource types."""
+        fractions = []
+        for need, have in (
+            (self.luts, capacity.luts),
+            (self.ffs, capacity.ffs),
+            (self.brams, capacity.brams),
+            (self.dsps, capacity.dsps),
+        ):
+            if need == 0:
+                continue
+            if have == 0:
+                return float("inf")
+            fractions.append(need / have)
+        return max(fractions) if fractions else 0.0
+
+    @property
+    def is_zero(self) -> bool:
+        return self.luts == self.ffs == self.brams == self.dsps == 0
+
+    def area_units(self) -> float:
+        """A single scalar 'silicon area' figure used for energy/area
+        comparisons (weights approximate relative tile sizes)."""
+        return self.luts + 0.5 * self.ffs + 120.0 * self.brams + 40.0 * self.dsps

@@ -1,0 +1,449 @@
+"""An OpenCL-C frontend for the HLS tool.
+
+The ECOSCALE flow starts "from a non-hardware specific OpenCL model"
+(Section 4.3).  This module parses a restricted-but-real OpenCL C kernel
+dialect into the :class:`~repro.hls.ir.Kernel` IR the estimator and the
+design-space explorer consume.
+
+Supported dialect::
+
+    __kernel void saxpy(const float alpha,
+                        __global const float* x,
+                        __global float* y) {
+        int i = get_global_id(0);
+        y[i] = alpha * x[i] + y[i];
+    }
+
+- one ``__kernel void`` function per source string;
+- scalar parameters (int/float/double) and ``__global`` pointer arrays;
+- declarations, assignments (``=``, ``+=``, ``-=``, ``*=``, ``/=``);
+- ``for`` loops with compile-time-constant bounds (literal, or supplied
+  through the ``constants`` mapping);
+- arithmetic (+ - * /), comparisons, logical/bitwise operators, and the
+  builtins ``sqrt/exp/log/sin/cos/pow/fabs/max/min``;
+- an optional ``// ecoscale: recurrence(distance, latency)`` annotation
+  for loop-carried dependences the static analysis cannot prove.
+
+The NDRange work-item dimension becomes the pipelined (innermost) loop
+of the IR: per-work-item operation and access counts are what the
+paper's II/resource models want.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hls.ir import ArrayArg, Kernel, OpKind
+
+
+class ParseError(ValueError):
+    """Raised when the source leaves the supported dialect."""
+
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<number>\d+\.\d*f?|\.\d+f?|\d+[uUlL]*)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op><=|>=|==|!=|&&|\|\||\+\+|--|\+=|-=|\*=|/=|[-+*/%<>=!&|^~?:])
+  | (?P<punct>[()\[\]{};,])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_RECURRENCE_RE = re.compile(
+    r"ecoscale:\s*recurrence\s*\(\s*(\d+)\s*,\s*(\d+)\s*\)"
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def tokenize(source: str) -> Tuple[List[Token], Optional[Tuple[int, int]]]:
+    """Tokens plus any recurrence annotation found in comments."""
+    tokens: List[Token] = []
+    recurrence: Optional[Tuple[int, int]] = None
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {source[pos]!r} at offset {pos}")
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "comment":
+            ann = _RECURRENCE_RE.search(text)
+            if ann:
+                recurrence = (int(ann.group(1)), int(ann.group(2)))
+        elif kind != "ws":
+            tokens.append(Token(kind, text, pos))
+        pos = m.end()
+    return tokens, recurrence
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+_SCALAR_TYPES = {"int", "uint", "float", "double", "char", "uchar", "long", "size_t"}
+_ELEM_BYTES = {
+    "char": 1, "uchar": 1, "int": 4, "uint": 4, "float": 4,
+    "long": 8, "size_t": 8, "double": 8,
+}
+_BUILTIN_OPS = {
+    "sqrt": OpKind.SQRT,
+    "exp": OpKind.EXP,
+    "log": OpKind.EXP,
+    "sin": OpKind.EXP,
+    "cos": OpKind.EXP,
+    "pow": OpKind.EXP,
+    "fabs": OpKind.LOGIC,
+    "max": OpKind.CMP,
+    "min": OpKind.CMP,
+}
+_IGNORED_CALLS = {"get_global_id", "get_local_id", "get_group_id", "get_global_size"}
+
+
+@dataclass
+class _Counts:
+    """Operation/access tallies, weighted by enclosing loop trips."""
+
+    ops: Dict[OpKind, float] = field(default_factory=dict)
+    reads: Dict[str, float] = field(default_factory=dict)
+    writes: Dict[str, float] = field(default_factory=dict)
+
+    def add_op(self, kind: OpKind, weight: float) -> None:
+        self.ops[kind] = self.ops.get(kind, 0.0) + weight
+
+    def add_read(self, array: str, weight: float) -> None:
+        self.reads[array] = self.reads.get(array, 0.0) + weight
+
+    def add_write(self, array: str, weight: float) -> None:
+        self.writes[array] = self.writes.get(array, 0.0) + weight
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], constants: Dict[str, int]) -> None:
+        self.tokens = tokens
+        self.constants = constants
+        self.i = 0
+        self.arrays: Dict[str, int] = {}   # name -> elem bytes
+        self.counts = _Counts()
+        self.kernel_name = ""
+        self.inner_trips: List[int] = []
+
+    # -- token plumbing --------------------------------------------------
+    def peek(self, offset: int = 0) -> Optional[Token]:
+        idx = self.i + offset
+        return self.tokens[idx] if idx < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of source")
+        self.i += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, got {tok.text!r} at {tok.pos}")
+        return tok
+
+    def accept(self, text: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.text == text:
+            self.i += 1
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> None:
+        self.expect("__kernel")
+        self.expect("void")
+        self.kernel_name = self.next().text
+        self.expect("(")
+        if not self.accept(")"):
+            while True:
+                self._parse_param()
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        self.expect("{")
+        self._parse_block(weight=1.0)
+
+    def _parse_param(self) -> None:
+        is_pointer = False
+        base_type = None
+        while True:
+            tok = self.next()
+            if tok.text in ("__global", "__local", "__constant", "const", "restrict"):
+                continue
+            if tok.text in _SCALAR_TYPES:
+                base_type = tok.text
+                continue
+            if tok.text == "*":
+                is_pointer = True
+                continue
+            name = tok.text
+            break
+        if base_type is None:
+            raise ParseError(f"parameter {name!r} has no recognized type")
+        if is_pointer:
+            self.arrays[name] = _ELEM_BYTES[base_type]
+
+    def _parse_block(self, weight: float) -> None:
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise ParseError("unterminated block")
+            if tok.text == "}":
+                self.next()
+                return
+            self._parse_statement(weight)
+
+    def _parse_statement(self, weight: float) -> None:
+        tok = self.peek()
+        if tok.text == "for":
+            self._parse_for(weight)
+            return
+        if tok.text == "{":
+            self.next()
+            self._parse_block(weight)
+            return
+        if tok.text == "if":
+            self._parse_if(weight)
+            return
+        if tok.text in _SCALAR_TYPES or tok.text == "const":
+            self._parse_declaration(weight)
+            return
+        self._parse_assignment(weight)
+
+    def _parse_declaration(self, weight: float) -> None:
+        while self.peek().text in _SCALAR_TYPES or self.peek().text == "const":
+            self.next()
+        self.next()  # variable name
+        if self.accept("="):
+            self._parse_expression(weight, reads=True)
+        self.expect(";")
+
+    def _parse_if(self, weight: float) -> None:
+        self.expect("if")
+        self.expect("(")
+        self._parse_expression_until(")", weight, reads=True)
+        # both arms are charged at full weight (hardware evaluates both)
+        self._parse_statement(weight)
+        if self.accept("else"):
+            self._parse_statement(weight)
+
+    def _parse_for(self, weight: float) -> None:
+        self.expect("for")
+        self.expect("(")
+        # init: `int k = 0` or `k = 0`
+        while self.peek().text != ";":
+            self.next()
+        self.expect(";")
+        # condition: `k < BOUND` (BOUND literal or named constant)
+        self.next()  # loop variable
+        cmp_tok = self.next()
+        if cmp_tok.text not in ("<", "<=", ">", ">="):
+            raise ParseError(f"unsupported loop condition at {cmp_tok.pos}")
+        bound_tok = self.next()
+        trip = self._resolve_constant(bound_tok)
+        if cmp_tok.text == "<=":
+            trip += 1
+        if self.peek().text != ";":
+            raise ParseError(f"loop bound must be a single constant at {bound_tok.pos}")
+        self.expect(";")
+        # increment: consume until `)`
+        depth = 0
+        while True:
+            tok = self.next()
+            if tok.text == "(":
+                depth += 1
+            elif tok.text == ")":
+                if depth == 0:
+                    break
+                depth -= 1
+        if trip < 1:
+            raise ParseError(f"loop at {bound_tok.pos} has non-positive trip {trip}")
+        self.inner_trips.append(trip)
+        self.counts.add_op(OpKind.LOGIC, weight * trip)  # index increment+compare
+        self._parse_statement(weight * trip)
+
+    def _resolve_constant(self, tok: Token) -> int:
+        if tok.kind == "number":
+            return int(re.sub(r"[uUlL]+$", "", tok.text))
+        if tok.kind == "ident":
+            if tok.text in self.constants:
+                return int(self.constants[tok.text])
+            raise ParseError(
+                f"loop bound {tok.text!r} is not a known constant "
+                f"(pass it via constants={{...}})"
+            )
+        raise ParseError(f"cannot resolve loop bound {tok.text!r}")
+
+    # -- expressions -------------------------------------------------------
+    def _parse_assignment(self, weight: float) -> None:
+        # lhs: identifier with optional subscript
+        name = self.next()
+        if name.kind != "ident":
+            raise ParseError(f"expected assignment target at {name.pos}")
+        is_array_write = False
+        if self.accept("["):
+            self._parse_expression_until("]", weight, reads=True, indexing=True)
+            is_array_write = name.text in self.arrays
+        op = self.next()
+        if op.text in ("+=", "-="):
+            self.counts.add_op(OpKind.ADD, weight)
+            if is_array_write:
+                self.counts.add_read(name.text, weight)
+        elif op.text in ("*=",):
+            self.counts.add_op(OpKind.MUL, weight)
+            if is_array_write:
+                self.counts.add_read(name.text, weight)
+        elif op.text in ("/=",):
+            self.counts.add_op(OpKind.DIV, weight)
+            if is_array_write:
+                self.counts.add_read(name.text, weight)
+        elif op.text != "=":
+            raise ParseError(f"unsupported assignment operator {op.text!r} at {op.pos}")
+        if is_array_write:
+            self.counts.add_write(name.text, weight)
+        self._parse_expression(weight, reads=True)
+        self.expect(";")
+
+    def _parse_expression(self, weight: float, reads: bool) -> None:
+        self._parse_expression_until(";", weight, reads, consume_end=False)
+
+    def _parse_expression_until(
+        self,
+        end: str,
+        weight: float,
+        reads: bool,
+        indexing: bool = False,
+        consume_end: bool = True,
+    ) -> None:
+        depth = 0
+        subscript_depths: List[int] = []  # depths at which an array subscript opened
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise ParseError("unterminated expression")
+            if depth == 0 and tok.text == end:
+                if consume_end:
+                    self.next()
+                return
+            self.next()
+            if tok.text == "(":
+                depth += 1
+                continue
+            if tok.text == "[":
+                depth += 1
+                subscript_depths.append(depth)
+                continue
+            if tok.text == ")":
+                depth -= 1
+                continue
+            if tok.text == "]":
+                if subscript_depths and subscript_depths[-1] == depth:
+                    subscript_depths.pop()
+                depth -= 1
+                continue
+            in_subscript = indexing or bool(subscript_depths)
+            if tok.kind == "ident":
+                nxt = self.peek()
+                if tok.text in _IGNORED_CALLS:
+                    continue
+                if tok.text in _BUILTIN_OPS and nxt is not None and nxt.text == "(":
+                    self.counts.add_op(_BUILTIN_OPS[tok.text], weight)
+                    continue
+                if tok.text in self.arrays and nxt is not None and nxt.text == "[":
+                    if reads:
+                        self.counts.add_read(tok.text, weight)
+                continue
+            if tok.kind == "op":
+                kind = self._op_kind(tok.text, in_subscript)
+                if kind is not None:
+                    self.counts.add_op(kind, weight)
+
+    @staticmethod
+    def _op_kind(op: str, indexing: bool) -> Optional[OpKind]:
+        if indexing:
+            # address arithmetic is integer datapath
+            if op in ("+", "-", "*", "/", "%"):
+                return OpKind.LOGIC
+            return None
+        return {
+            "+": OpKind.ADD,
+            "-": OpKind.ADD,
+            "*": OpKind.MUL,
+            "/": OpKind.DIV,
+            "%": OpKind.DIV,
+            "<": OpKind.CMP,
+            ">": OpKind.CMP,
+            "<=": OpKind.CMP,
+            ">=": OpKind.CMP,
+            "==": OpKind.CMP,
+            "!=": OpKind.CMP,
+            "?": OpKind.CMP,
+            "&&": OpKind.LOGIC,
+            "||": OpKind.LOGIC,
+            "&": OpKind.LOGIC,
+            "|": OpKind.LOGIC,
+            "^": OpKind.LOGIC,
+            "~": OpKind.LOGIC,
+            "!": OpKind.LOGIC,
+        }.get(op)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+def parse_kernel(
+    source: str,
+    global_size: int,
+    constants: Optional[Dict[str, int]] = None,
+    footprints: Optional[Dict[str, int]] = None,
+) -> Kernel:
+    """Parse OpenCL C into the HLS IR.
+
+    ``global_size`` is the NDRange size (the pipelined dimension);
+    ``constants`` resolves named loop bounds; ``footprints`` overrides
+    per-array on-chip buffer sizes (default: one element per work-item).
+    """
+    if global_size < 1:
+        raise ParseError(f"global_size must be positive, got {global_size}")
+    tokens, recurrence = tokenize(source)
+    if not tokens:
+        raise ParseError("empty source")
+    parser = _Parser(tokens, constants or {})
+    parser.parse()
+
+    footprints = footprints or {}
+    arrays = tuple(
+        ArrayArg(
+            name=name,
+            elem_bytes=elem_bytes,
+            reads_per_iter=parser.counts.reads.get(name, 0.0),
+            writes_per_iter=parser.counts.writes.get(name, 0.0),
+            footprint_elems=footprints.get(name, max(1, global_size)),
+        )
+        for name, elem_bytes in parser.arrays.items()
+    )
+    return Kernel(
+        name=parser.kernel_name,
+        trip_counts=(global_size,),
+        ops={k: v for k, v in parser.counts.ops.items() if v > 0},
+        arrays=arrays,
+        recurrence=recurrence,
+        description=f"parsed from OpenCL C ({len(tokens)} tokens)",
+    )

@@ -1,0 +1,116 @@
+"""Kernel intermediate representation for the HLS tool."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+
+class OpKind(Enum):
+    """Datapath operation classes with distinct hardware costs."""
+
+    ADD = "add"        # fp add/sub
+    MUL = "mul"        # fp multiply
+    DIV = "div"        # fp divide
+    SQRT = "sqrt"
+    CMP = "cmp"        # compares / select
+    LOGIC = "logic"    # bitwise / integer index math
+    EXP = "exp"        # transcendental (exp/log/sin) -- table+poly datapath
+
+
+@dataclass(frozen=True)
+class ArrayArg:
+    """One array argument of the kernel.
+
+    ``reads_per_iter`` / ``writes_per_iter`` count accesses per innermost
+    iteration; together with a partitioning factor they determine the
+    memory-port component of the initiation interval.
+    """
+
+    name: str
+    elem_bytes: int = 4
+    reads_per_iter: float = 0.0
+    writes_per_iter: float = 0.0
+    footprint_elems: int = 1024   # on-chip buffer size (drives BRAM count)
+
+    def __post_init__(self) -> None:
+        if self.elem_bytes <= 0:
+            raise ValueError(f"elem_bytes must be positive, got {self.elem_bytes}")
+        if self.reads_per_iter < 0 or self.writes_per_iter < 0:
+            raise ValueError("access counts must be non-negative")
+        if self.footprint_elems < 1:
+            raise ValueError("footprint must be at least one element")
+
+    @property
+    def accesses_per_iter(self) -> float:
+        return self.reads_per_iter + self.writes_per_iter
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A perfectized loop nest with a characterized innermost body.
+
+    ``trip_counts`` are outer-to-inner; only the innermost loop is
+    pipelined/unrolled by the transforms (standard HLS practice).
+
+    ``recurrence`` models a loop-carried dependence as
+    ``(distance, chain_latency_cycles)``: the classic bound
+    ``II >= ceil(chain_latency / distance)``.  ``None`` means the loop is
+    fully parallel (II can reach 1).
+    """
+
+    name: str
+    trip_counts: Tuple[int, ...]
+    ops: Dict[OpKind, float] = field(default_factory=dict)
+    arrays: Tuple[ArrayArg, ...] = ()
+    recurrence: Optional[Tuple[int, int]] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.trip_counts or any(t < 1 for t in self.trip_counts):
+            raise ValueError(f"trip counts must be positive, got {self.trip_counts}")
+        for kind, count in self.ops.items():
+            if not isinstance(kind, OpKind):
+                raise ValueError(f"ops keys must be OpKind, got {kind!r}")
+            if count < 0:
+                raise ValueError(f"op count for {kind} must be non-negative")
+        if self.recurrence is not None:
+            distance, latency = self.recurrence
+            if distance < 1 or latency < 1:
+                raise ValueError(f"invalid recurrence {self.recurrence}")
+        names = [a.name for a in self.arrays]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate array names in {names}")
+
+    @property
+    def inner_trip(self) -> int:
+        return self.trip_counts[-1]
+
+    @property
+    def outer_iterations(self) -> int:
+        total = 1
+        for t in self.trip_counts[:-1]:
+            total *= t
+        return total
+
+    @property
+    def total_iterations(self) -> int:
+        return self.outer_iterations * self.inner_trip
+
+    def array(self, name: str) -> ArrayArg:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise KeyError(f"kernel {self.name!r} has no array {name!r}")
+
+    def ops_per_iteration(self) -> float:
+        return sum(self.ops.values())
+
+    def bytes_per_iteration(self) -> float:
+        return sum(a.accesses_per_iter * a.elem_bytes for a in self.arrays)
+
+    def arithmetic_intensity(self) -> float:
+        """FLOP-ish per byte -- high intensity kernels are the FPGA wins."""
+        b = self.bytes_per_iteration()
+        return self.ops_per_iteration() / b if b else float("inf")

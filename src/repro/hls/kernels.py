@@ -1,0 +1,131 @@
+"""A library of characterized HPC kernels.
+
+These are the workload building blocks the paper's application domains
+need: dense linear algebra, stencils, signal processing, and the
+Monte-Carlo financial kernels cited from the Maxeler deployments [18].
+Each factory returns a :class:`~repro.hls.ir.Kernel` whose operation mix
+and access pattern match the textbook form of the computation.
+"""
+
+from __future__ import annotations
+
+from repro.hls.ir import ArrayArg, Kernel, OpKind
+
+
+def vecadd_kernel(n: int = 4096) -> Kernel:
+    """c[i] = a[i] + b[i] -- the OpenCL hello world; memory bound."""
+    return Kernel(
+        name="vecadd",
+        trip_counts=(n,),
+        ops={OpKind.ADD: 1},
+        arrays=(
+            ArrayArg("a", 4, reads_per_iter=1, footprint_elems=n),
+            ArrayArg("b", 4, reads_per_iter=1, footprint_elems=n),
+            ArrayArg("c", 4, writes_per_iter=1, footprint_elems=n),
+        ),
+        description="elementwise vector add",
+    )
+
+
+def saxpy_kernel(n: int = 4096) -> Kernel:
+    """y[i] = alpha * x[i] + y[i]."""
+    return Kernel(
+        name="saxpy",
+        trip_counts=(n,),
+        ops={OpKind.MUL: 1, OpKind.ADD: 1},
+        arrays=(
+            ArrayArg("x", 4, reads_per_iter=1, footprint_elems=n),
+            ArrayArg("y", 4, reads_per_iter=1, writes_per_iter=1, footprint_elems=n),
+        ),
+        description="scaled vector addition",
+    )
+
+
+def matmul_kernel(tile: int = 64) -> Kernel:
+    """Tiled dense matmul: one tile x tile x tile multiply-accumulate.
+
+    The innermost dot-product carries an accumulation recurrence whose
+    multiply-add chain bounds II unless the tool interleaves; we expose
+    the conservative (distance 1, FADD latency) bound, which is why
+    unrolling + partitioning is where this kernel's speedup comes from.
+    """
+    return Kernel(
+        name="matmul",
+        trip_counts=(tile, tile, tile),
+        ops={OpKind.MUL: 1, OpKind.ADD: 1},
+        arrays=(
+            ArrayArg("A", 4, reads_per_iter=1, footprint_elems=tile * tile),
+            ArrayArg("B", 4, reads_per_iter=1, footprint_elems=tile * tile),
+            ArrayArg("C", 4, writes_per_iter=1.0 / tile, footprint_elems=tile * tile),
+        ),
+        recurrence=(1, 3),  # accumulator: FADD latency 3, distance 1
+        description="tiled dense matrix multiply",
+    )
+
+
+def stencil_kernel(n: int = 4096, points: int = 5) -> Kernel:
+    """One row-sweep of a ``points``-point 2D Jacobi stencil."""
+    if points < 3:
+        raise ValueError("a stencil needs at least 3 points")
+    return Kernel(
+        name=f"stencil{points}",
+        trip_counts=(n,),
+        ops={OpKind.ADD: points - 1, OpKind.MUL: points},
+        arrays=(
+            ArrayArg("grid_in", 4, reads_per_iter=points, footprint_elems=3 * n),
+            ArrayArg("grid_out", 4, writes_per_iter=1, footprint_elems=n),
+        ),
+        description=f"{points}-point Jacobi stencil sweep",
+    )
+
+
+def fir_kernel(n: int = 4096, taps: int = 32) -> Kernel:
+    """FIR filter: out[i] = sum_t coeff[t] * in[i - t]."""
+    return Kernel(
+        name=f"fir{taps}",
+        trip_counts=(n, taps),
+        ops={OpKind.MUL: 1, OpKind.ADD: 1},
+        arrays=(
+            ArrayArg("signal", 4, reads_per_iter=1, footprint_elems=n + taps),
+            ArrayArg("coeff", 4, reads_per_iter=1, footprint_elems=taps),
+            ArrayArg("out", 4, writes_per_iter=1.0 / taps, footprint_elems=n),
+        ),
+        recurrence=(1, 3),  # accumulation chain
+        description="FIR filter",
+    )
+
+
+def montecarlo_kernel(paths: int = 8192, steps: int = 64) -> Kernel:
+    """Monte-Carlo option pricing: geometric Brownian motion paths.
+
+    Per step: one Box-Muller-ish transcendental bundle, a few multiplies
+    and adds; embarrassingly parallel across paths (no recurrence exposed
+    because paths, the pipelined dimension, are independent).
+    """
+    return Kernel(
+        name="montecarlo",
+        trip_counts=(steps, paths),
+        ops={OpKind.EXP: 1, OpKind.MUL: 3, OpKind.ADD: 2, OpKind.LOGIC: 2},
+        arrays=(
+            ArrayArg("prices", 4, reads_per_iter=1, writes_per_iter=1, footprint_elems=paths),
+            ArrayArg("rng_state", 4, reads_per_iter=1, writes_per_iter=1, footprint_elems=paths),
+        ),
+        description="Monte-Carlo GBM path simulation",
+    )
+
+
+def cart_split_kernel(samples: int = 4096, features: int = 16) -> Kernel:
+    """CART decision-tree split search (the HC-CART workload [17]):
+    per (sample, feature) evaluate a candidate split's Gini update."""
+    return Kernel(
+        name="cart_split",
+        trip_counts=(features, samples),
+        ops={OpKind.CMP: 2, OpKind.ADD: 2, OpKind.MUL: 1, OpKind.LOGIC: 2},
+        arrays=(
+            ArrayArg("values", 4, reads_per_iter=1, footprint_elems=samples),
+            ArrayArg("labels", 1, reads_per_iter=1, footprint_elems=samples),
+            ArrayArg("hist", 4, reads_per_iter=1, writes_per_iter=1, footprint_elems=256),
+        ),
+        recurrence=(1, 3),  # histogram update
+        description="CART split-point evaluation",
+    )

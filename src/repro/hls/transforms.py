@@ -1,0 +1,114 @@
+"""HLS transformation configuration.
+
+One :class:`HlsConfig` describes a point in the implementation space the
+paper's tool explores automatically: pipelining, loop unrolling, array
+(data storage) partitioning, and datapath duplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Sequence
+
+from repro.hls.ir import Kernel
+
+
+@dataclass(frozen=True)
+class HlsConfig:
+    """One implementation choice for a kernel.
+
+    - ``pipeline``: pipeline the innermost loop (II as computed) or leave
+      it sequential (II = full body latency).
+    - ``unroll``: innermost-loop unroll factor (replicates the body
+      datapath; reduces trip count).
+    - ``partition``: per-array cyclic partitioning factor (multiplies
+      available memory ports and BRAM usage).
+    - ``duplicate``: whole-datapath duplication ("and duplication",
+      Section 4.3) -- independent lanes fed round-robin, the coarse
+      parallelism knob.
+    - ``dram_ports``: AXI masters to off-chip DRAM for arrays too big to
+      live on-chip -- "architectural decisions, such as the DRAM port
+      parallelism" that the ECOSCALE tool automates (Section 4.3).
+    """
+
+    pipeline: bool = True
+    unroll: int = 1
+    partition: Dict[str, int] = field(default_factory=dict)
+    duplicate: int = 1
+    dram_ports: int = 1
+
+    def __post_init__(self) -> None:
+        if self.unroll < 1:
+            raise ValueError(f"unroll factor must be >= 1, got {self.unroll}")
+        if self.duplicate < 1:
+            raise ValueError(f"duplicate factor must be >= 1, got {self.duplicate}")
+        if self.dram_ports < 1:
+            raise ValueError(f"need at least one DRAM port, got {self.dram_ports}")
+        for name, factor in self.partition.items():
+            if factor < 1:
+                raise ValueError(f"partition factor for {name!r} must be >= 1")
+
+    def partition_of(self, array_name: str) -> int:
+        return self.partition.get(array_name, 1)
+
+    def label(self) -> str:
+        parts = ["pipe" if self.pipeline else "seq", f"u{self.unroll}", f"d{self.duplicate}"]
+        if self.dram_ports > 1:
+            parts.append(f"m{self.dram_ports}")
+        if self.partition:
+            parts.append(
+                "p" + "-".join(f"{k}{v}" for k, v in sorted(self.partition.items()))
+            )
+        return "_".join(parts)
+
+    # HlsConfig must be hashable for DSE dedup; dict isn't, so freeze it.
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.pipeline,
+                self.unroll,
+                self.duplicate,
+                self.dram_ports,
+                tuple(sorted(self.partition.items())),
+            )
+        )
+
+
+def default_config_grid(
+    kernel: Kernel,
+    unroll_factors: Sequence[int] = (1, 2, 4, 8, 16),
+    duplicate_factors: Sequence[int] = (1, 2, 4),
+    partition_factors: Sequence[int] = (1, 2, 4, 8),
+    dram_port_counts: Sequence[int] = (1, 2, 4),
+) -> Iterator[HlsConfig]:
+    """The default design-space grid the explorer sweeps.
+
+    Partitioning is applied uniformly to all arrays (per-array asymmetric
+    partitioning explodes the space; the estimator's port model makes the
+    uniform choice near-optimal for balanced kernels).  Unroll factors
+    beyond the inner trip count are skipped.  DRAM port counts are only
+    swept when some array is too large to live on-chip (the estimator's
+    streaming threshold) -- otherwise the knob is dead weight.
+    """
+    from repro.hls.estimator import ON_CHIP_BYTES_LIMIT
+
+    streamed = any(
+        a.footprint_elems * a.elem_bytes > ON_CHIP_BYTES_LIMIT
+        for a in kernel.arrays
+    )
+    port_counts = dram_port_counts if streamed else (1,)
+    for pipeline in (True, False):
+        for unroll in unroll_factors:
+            if unroll > kernel.inner_trip:
+                continue
+            for dup in duplicate_factors:
+                for pf in partition_factors:
+                    partition = {a.name: pf for a in kernel.arrays}
+                    for ports in port_counts:
+                        yield HlsConfig(
+                            pipeline=pipeline,
+                            unroll=unroll,
+                            partition=partition,
+                            duplicate=dup,
+                            dram_ports=ports,
+                        )

@@ -1,0 +1,89 @@
+"""Point-to-point links with bandwidth, latency, energy and contention."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import PriorityResource, Simulator
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Physical link characteristics.
+
+    Defaults model an on-chip AXI-class layer; inter-chip and inter-chassis
+    layers use the constructors in :mod:`repro.interconnect.topology` with
+    progressively higher latency and energy per byte (the paper's
+    "each level up the tree adds one hop" cost structure).
+    """
+
+    bandwidth_gbps: float = 16.0      # GB/s
+    latency_ns: float = 10.0          # propagation + arbitration
+    energy_per_byte_pj: float = 1.0   # transport energy
+    width_lanes: int = 1              # parallel channels (capacity)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_gbps}")
+        if self.latency_ns < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency_ns}")
+        if self.energy_per_byte_pj < 0:
+            raise ValueError("energy per byte must be non-negative")
+        if self.width_lanes < 1:
+            raise ValueError("need at least one lane")
+
+    def transfer_ns(self, size_bytes: int) -> float:
+        """Uncontended serialization + propagation time for one transfer."""
+        return self.latency_ns + size_bytes / self.bandwidth_gbps
+
+
+class Link:
+    """One directed or shared channel between two interconnect endpoints."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: LinkParams = LinkParams(),
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.name = name
+        # priority arbitration: waiting sync/interrupt traffic overtakes
+        # queued bulk transfers (the QoS the paper's small-message
+        # argument presumes)
+        self.channel = PriorityResource(sim, capacity=params.width_lanes, name=name)
+        self.bytes_carried = 0
+        self.messages_carried = 0
+        self.energy_pj = 0.0
+
+    # ------------------------------------------------------------------
+    def cost(self, size_bytes: int) -> float:
+        """Analytic uncontended latency for ``size_bytes`` (ns)."""
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size {size_bytes}")
+        return self.params.transfer_ns(size_bytes)
+
+    def account(self, size_bytes: int) -> None:
+        """Record traffic/energy without simulating (analytic sweeps)."""
+        self.bytes_carried += size_bytes
+        self.messages_carried += 1
+        self.energy_pj += size_bytes * self.params.energy_per_byte_pj
+
+    def transfer(self, size_bytes: int, priority: int = 0):
+        """Simulation process: occupy a lane for the serialization time.
+
+        Lower ``priority`` values win arbitration when the link is
+        contended.  Usage inside a process::
+
+            yield from link.transfer(4096)
+        """
+        self.account(size_bytes)
+        yield from self.channel.use(self.cost(size_bytes), priority=priority)
+
+    @property
+    def utilization(self) -> float:
+        return self.channel.utilization()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} {self.params.bandwidth_gbps}GB/s>"

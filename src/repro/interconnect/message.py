@@ -1,0 +1,85 @@
+"""Transactions that travel on the ECOSCALE interconnect.
+
+The paper's multi-layer interconnect carries four transaction classes
+(Section 4.1): "load and store commands, DMA operations, interrupts, and
+synchronization between the Workers".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+_message_ids = itertools.count()
+
+
+class TransactionType(Enum):
+    LOAD = "load"
+    STORE = "store"
+    DMA = "dma"
+    INTERRUPT = "interrupt"
+    SYNC = "sync"
+    CONFIG = "config"          # partial-reconfiguration bitstream traffic
+    MPI = "mpi"                # inter-Compute-Node messages
+
+    @property
+    def header_bytes(self) -> int:
+        """Protocol overhead per transaction of this class."""
+        return {
+            TransactionType.LOAD: 16,
+            TransactionType.STORE: 16,
+            TransactionType.DMA: 32,
+            TransactionType.INTERRUPT: 8,
+            TransactionType.SYNC: 8,
+            TransactionType.CONFIG: 32,
+            TransactionType.MPI: 64,
+        }[self]
+
+    @property
+    def priority(self) -> int:
+        """Arbitration priority: lower is more urgent.
+
+        Synchronization and interrupts overtake bulk DMA -- the reason the
+        paper insists DMA-only architectures "are not efficient for small
+        data transfers such as messages to synchronize remote threads".
+        """
+        return {
+            TransactionType.INTERRUPT: 0,
+            TransactionType.SYNC: 0,
+            TransactionType.LOAD: 1,
+            TransactionType.STORE: 1,
+            TransactionType.MPI: 2,
+            TransactionType.CONFIG: 3,
+            TransactionType.DMA: 4,
+        }[self]
+
+
+@dataclass
+class Message:
+    """One transaction: source/destination node ids and a payload size."""
+
+    src: int
+    dst: int
+    size_bytes: int
+    kind: TransactionType = TransactionType.DMA
+    payload: Any = None
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    issued_at: Optional[float] = None
+    delivered_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size {self.size_bytes}")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Payload plus protocol header."""
+        return self.size_bytes + self.kind.header_bytes
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.issued_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.issued_at

@@ -1,0 +1,165 @@
+"""A network of nodes and links with routing, costing and simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.interconnect.link import Link, LinkParams
+from repro.interconnect.message import Message, TransactionType
+from repro.sim import Simulator
+
+
+@dataclass
+class Route:
+    """A resolved path: the node sequence and the links traversed."""
+
+    nodes: List[Hashable]
+    links: List[Link]
+
+    @property
+    def hops(self) -> int:
+        return len(self.links)
+
+    def latency(self, size_bytes: int) -> float:
+        """Uncontended end-to-end latency, store-and-forward per hop."""
+        return sum(link.cost(size_bytes) for link in self.links)
+
+    def energy(self, size_bytes: int) -> float:
+        return sum(size_bytes * link.params.energy_per_byte_pj for link in self.links)
+
+
+class Network:
+    """Nodes joined by :class:`Link` objects, routed by weighted shortest path.
+
+    Endpoints (Workers, Compute-Node routers, chassis switches) are
+    arbitrary hashable ids.  Link weights for routing are the uncontended
+    per-hop latencies, so routes naturally prefer faster layers.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.graph = nx.Graph()
+        self._route_cache: Dict[Tuple[Hashable, Hashable], Route] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Hashable, **attrs) -> None:
+        self.graph.add_node(node, **attrs)
+
+    def add_link(
+        self,
+        a: Hashable,
+        b: Hashable,
+        params: LinkParams = LinkParams(),
+        name: str = "",
+    ) -> Link:
+        link = Link(self.sim, params, name or f"{a}<->{b}")
+        self.graph.add_edge(a, b, link=link, weight=params.latency_ns)
+        self._route_cache.clear()
+        return link
+
+    @property
+    def nodes(self) -> List[Hashable]:
+        return list(self.graph.nodes)
+
+    @property
+    def links(self) -> List[Link]:
+        return [data["link"] for _, _, data in self.graph.edges(data=True)]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, src: Hashable, dst: Hashable) -> Route:
+        """Weighted shortest path; cached until the topology changes."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            route = Route([src], [])
+        else:
+            try:
+                path = nx.shortest_path(self.graph, src, dst, weight="weight")
+            except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+                raise ValueError(f"no route from {src!r} to {dst!r}") from exc
+            links = [
+                self.graph.edges[path[i], path[i + 1]]["link"]
+                for i in range(len(path) - 1)
+            ]
+            route = Route(path, links)
+        self._route_cache[key] = route
+        return route
+
+    def hop_distance(self, src: Hashable, dst: Hashable) -> int:
+        return self.route(src, dst).hops
+
+    def diameter_hops(self, endpoints: Optional[Iterable[Hashable]] = None) -> int:
+        """Maximum hop distance between any two endpoints.
+
+        ``endpoints`` restricts the measurement to leaf nodes (Workers) --
+        the paper's "maximum communication distance between any two
+        processing units".
+        """
+        nodes = list(endpoints) if endpoints is not None else self.nodes
+        best = 0
+        for i, a in enumerate(nodes):
+            lengths = nx.single_source_shortest_path_length(self.graph, a)
+            for b in nodes[i + 1:]:
+                if b not in lengths:
+                    raise ValueError(f"{b!r} unreachable from {a!r}")
+                if lengths[b] > best:
+                    best = lengths[b]
+        return best
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+    def send_cost(self, msg: Message) -> Tuple[float, float]:
+        """Analytic (latency_ns, energy_pj) for ``msg``; accounts traffic."""
+        route = self.route(msg.src, msg.dst)
+        wire = msg.wire_bytes
+        for link in route.links:
+            link.account(wire)
+        self.messages_sent += 1
+        self.bytes_sent += wire * max(1, route.hops)
+        return route.latency(wire), route.energy(wire)
+
+    def send(self, msg: Message):
+        """Simulation process: store-and-forward over every hop with
+        contention.  ``yield from network.send(msg)``; returns the message
+        with timestamps filled in."""
+        msg.issued_at = self.sim.now
+        route = self.route(msg.src, msg.dst)
+        wire = msg.wire_bytes
+        self.messages_sent += 1
+        for link in route.links:
+            yield from link.transfer(wire, priority=msg.kind.priority)
+        self.bytes_sent += wire * max(1, route.hops)
+        msg.delivered_at = self.sim.now
+        return msg
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def total_energy_pj(self) -> float:
+        return sum(link.energy_pj for link in self.links)
+
+    def total_link_bytes(self) -> int:
+        """Sum of bytes carried per link (counts each hop separately) --
+        the 'data traffic' metric of the paper's energy argument."""
+        return sum(link.bytes_carried for link in self.links)
+
+    def reset_traffic(self) -> None:
+        for link in self.links:
+            link.bytes_carried = 0
+            link.messages_carried = 0
+            link.energy_pj = 0.0
+        self.messages_sent = 0
+        self.bytes_sent = 0

@@ -1,0 +1,62 @@
+"""The UNIMEM memory system.
+
+UNIMEM (from the EUROSERVER project, extended here per ECOSCALE) provides a
+*partitioned global address space*: every Worker's DRAM appears in one
+contiguous system-wide physical address space, and remote memory is reached
+with plain load/store transactions rather than a message-passing API.
+
+The key consistency rule -- the basis of the UNIMEM model and the reason it
+needs no global cache-coherence protocol -- is that **a memory page may be
+cacheable at exactly one coherence island** (its *home*): either the node
+that owns the backing DRAM or one remote node, never both at once
+(paper, Section 2).
+
+Units used throughout: simulated time in **nanoseconds**, sizes in
+**bytes**, energy in **picojoules**.
+"""
+
+from repro.memory.address import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    AddressRange,
+    GlobalAddressMap,
+)
+from repro.memory.cache import Cache, CacheGeometry, CacheStats
+from repro.memory.dram import Dram, DramTiming
+from repro.memory.page import Page, PageOwnershipError, PageRegistry
+from repro.memory.smmu import PageTable, Smmu, SmmuFault, TranslationRegime
+from repro.memory.ssd import Ssd, SsdTiming, out_of_core_passes, out_of_core_sort_cost_ns
+from repro.memory.translation import (
+    ProgressiveTranslator,
+    TranslationStep,
+    build_hierarchy_translator,
+)
+from repro.memory.unimem import AccessPlan, UnimemSpace
+
+__all__ = [
+    "AccessPlan",
+    "AddressRange",
+    "Cache",
+    "CacheGeometry",
+    "CacheStats",
+    "Dram",
+    "DramTiming",
+    "GlobalAddressMap",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "Page",
+    "PageOwnershipError",
+    "PageRegistry",
+    "PageTable",
+    "ProgressiveTranslator",
+    "Smmu",
+    "Ssd",
+    "SsdTiming",
+    "SmmuFault",
+    "TranslationRegime",
+    "TranslationStep",
+    "UnimemSpace",
+    "build_hierarchy_translator",
+    "out_of_core_passes",
+    "out_of_core_sort_cost_ns",
+]

@@ -1,0 +1,130 @@
+"""Global address space layout.
+
+ECOSCALE defines a contiguous global address space spanning all Workers of
+a PGAS domain (Compute Node).  We encode it the way UNIMEM bridges do: the
+top bits of a global physical address select the owning Worker, the low
+bits are an offset into that Worker's local DRAM window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB pages
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open byte range ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size < 0:
+            raise ValueError(f"invalid range base={self.base} size={self.size}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    def pages(self) -> Iterator[int]:
+        """Yield the page numbers the range touches."""
+        if self.size == 0:
+            return
+        first = self.base >> PAGE_SHIFT
+        last = (self.end - 1) >> PAGE_SHIFT
+        yield from range(first, last + 1)
+
+    def split_by_page(self) -> Iterator["AddressRange"]:
+        """Split into per-page sub-ranges (useful for page-granular checks)."""
+        addr = self.base
+        remaining = self.size
+        while remaining > 0:
+            page_end = ((addr >> PAGE_SHIFT) + 1) << PAGE_SHIFT
+            chunk = min(remaining, page_end - addr)
+            yield AddressRange(addr, chunk)
+            addr += chunk
+            remaining -= chunk
+
+
+class GlobalAddressMap:
+    """Maps the flat global physical address space onto Workers.
+
+    Each Worker owns a fixed-size window (its local DRAM aperture).  Global
+    address = ``worker_id * window_size + local_offset``.  This mirrors how
+    UNIMEM exposes remote DRAM through an address aperture: a plain load or
+    store whose address falls in another Worker's window is routed over the
+    interconnect to that Worker.
+
+    >>> amap = GlobalAddressMap(num_workers=4, window_size=1 << 30)
+    >>> amap.worker_of(3 * (1 << 30) + 100)
+    3
+    >>> amap.local_offset(3 * (1 << 30) + 100)
+    100
+    """
+
+    def __init__(self, num_workers: int, window_size: int) -> None:
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker, got {num_workers}")
+        if window_size <= 0 or window_size % PAGE_SIZE:
+            raise ValueError(
+                f"window_size must be a positive multiple of the page size, got {window_size}"
+            )
+        self.num_workers = num_workers
+        self.window_size = window_size
+
+    @property
+    def total_size(self) -> int:
+        return self.num_workers * self.window_size
+
+    def worker_of(self, addr: int) -> int:
+        """The Worker whose DRAM backs global address ``addr``."""
+        self._check(addr)
+        return addr // self.window_size
+
+    def local_offset(self, addr: int) -> int:
+        """Offset of ``addr`` within its owning Worker's DRAM."""
+        self._check(addr)
+        return addr % self.window_size
+
+    def global_address(self, worker_id: int, offset: int) -> int:
+        """Compose a global address from (worker, local offset)."""
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"worker {worker_id} out of range")
+        if not 0 <= offset < self.window_size:
+            raise ValueError(f"offset {offset:#x} outside the worker window")
+        return worker_id * self.window_size + offset
+
+    def window(self, worker_id: int) -> AddressRange:
+        """The global address window owned by ``worker_id``."""
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"worker {worker_id} out of range")
+        return AddressRange(worker_id * self.window_size, self.window_size)
+
+    def split_by_worker(self, rng: AddressRange) -> Iterator[Tuple[int, AddressRange]]:
+        """Split a global range into (worker, sub-range) pieces."""
+        addr = rng.base
+        remaining = rng.size
+        while remaining > 0:
+            worker = self.worker_of(addr)
+            window_end = (worker + 1) * self.window_size
+            chunk = min(remaining, window_end - addr)
+            yield worker, AddressRange(addr, chunk)
+            addr += chunk
+            remaining -= chunk
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < self.total_size:
+            raise ValueError(
+                f"address {addr:#x} outside the global space "
+                f"[0, {self.total_size:#x})"
+            )

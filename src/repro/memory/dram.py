@@ -1,0 +1,115 @@
+"""Off-chip DRAM timing and energy model.
+
+Each ECOSCALE Worker has its own DRAM (Fig. 4).  We model a first-order
+DDR-style device: per-bank open-row buffers (row hit vs. row miss
+latencies), a shared channel with finite bandwidth, and per-access /
+per-activate energies.  The numbers default to LPDDR4-class values, which
+is what an ARM-based Worker SoC of the paper's era would carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """First-order DRAM parameters (times in ns, energy in pJ)."""
+
+    row_hit_ns: float = 15.0
+    row_miss_ns: float = 45.0
+    bandwidth_gbps: float = 12.8  # GB/s channel bandwidth
+    num_banks: int = 8
+    row_bytes: int = 2048
+    energy_per_byte_pj: float = 20.0
+    energy_per_activate_pj: float = 900.0
+    capacity_bytes: int = 1 << 30  # 1 GiB per worker by default
+
+    def __post_init__(self) -> None:
+        if self.row_hit_ns <= 0 or self.row_miss_ns < self.row_hit_ns:
+            raise ValueError("need 0 < row_hit_ns <= row_miss_ns")
+        if self.bandwidth_gbps <= 0 or self.num_banks <= 0 or self.row_bytes <= 0:
+            raise ValueError("bandwidth, banks and row size must be positive")
+
+
+class Dram:
+    """One Worker's DRAM device.
+
+    ``access`` is a pure timing/energy query (it does not advance the
+    simulated clock -- callers fold the returned latency into their own
+    processes), which keeps the model usable both from event-driven
+    processes and from analytic sweeps.
+    """
+
+    def __init__(self, sim: Simulator, timing: DramTiming = DramTiming(), name: str = "") -> None:
+        self.sim = sim
+        self.timing = timing
+        self.name = name
+        self._open_rows: Dict[int, int] = {}  # bank -> open row number
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.bytes_transferred = 0
+        self.energy_pj = 0.0
+
+    def _bank_row(self, addr: int) -> tuple:
+        row_number = addr // self.timing.row_bytes
+        return row_number % self.timing.num_banks, row_number
+
+    def access(self, addr: int, size: int, is_write: bool = False) -> float:
+        """Latency (ns) for a burst of ``size`` bytes at ``addr``.
+
+        Latency = row activation/CAS latency + transfer time at channel
+        bandwidth.  Row-buffer state is updated per touched row.
+        """
+        if size <= 0:
+            raise ValueError(f"access size must be positive, got {size}")
+        if not 0 <= addr < self.timing.capacity_bytes:
+            raise ValueError(
+                f"address {addr:#x} outside DRAM capacity {self.timing.capacity_bytes:#x}"
+            )
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.bytes_transferred += size
+
+        # first-touch latency from the row buffer state
+        bank, row = self._bank_row(addr)
+        if self._open_rows.get(bank) == row:
+            latency = self.timing.row_hit_ns
+            self.row_hits += 1
+        else:
+            latency = self.timing.row_miss_ns
+            self.row_misses += 1
+            self._open_rows[bank] = row
+            self.energy_pj += self.timing.energy_per_activate_pj
+
+        # additional activates for bursts spanning rows
+        end = addr + size - 1
+        last_row = end // self.timing.row_bytes
+        extra_rows = last_row - row
+        if extra_rows > 0:
+            self.row_misses += extra_rows
+            self.energy_pj += extra_rows * self.timing.energy_per_activate_pj
+            last_bank = last_row % self.timing.num_banks
+            self._open_rows[last_bank] = last_row
+
+        transfer_ns = size / self.timing.bandwidth_gbps  # bytes / (GB/s) = ns
+        self.energy_pj += size * self.timing.energy_per_byte_pj
+        return latency + transfer_ns
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.reads = self.writes = 0
+        self.row_hits = self.row_misses = 0
+        self.bytes_transferred = 0
+        self.energy_pj = 0.0

@@ -1,0 +1,223 @@
+"""Dual-stage System MMU (I/O MMU).
+
+The paper (Section 4.1) relies on a dual-stage SMMU -- like the ARM SMMU in
+Fig. 4 -- so that reconfigurable accelerators can be programmed with
+*virtual* addresses and invoked directly from user space:
+
+    "A dual stage I/O MMU ... can resolve this problem by translating
+    virtual addresses to physical addresses in hardware.  Using an I/O MMU
+    the proposed architecture will allow 'user-level access' to the
+    reconfigurable accelerators."
+
+Stage 1 translates a process's virtual address (VA) to an intermediate
+physical address (IPA); stage 2 translates IPA to the machine physical
+address (PA).  Each stage has its own page tables (owned by the OS and the
+hypervisor respectively) and the SMMU caches completed translations in a
+TLB.  A TLB miss costs a hardware table walk; a missing mapping raises
+:class:`SmmuFault` (the accelerator would stall and interrupt the host).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from repro.memory.address import PAGE_SHIFT, PAGE_SIZE
+
+
+class SmmuFault(RuntimeError):
+    """Translation fault: no valid mapping for the given address/stage."""
+
+    def __init__(self, stage: int, context: int, addr: int) -> None:
+        super().__init__(
+            f"SMMU stage-{stage} fault: context {context}, address {addr:#x}"
+        )
+        self.stage = stage
+        self.context = context
+        self.addr = addr
+
+
+class TranslationRegime(Enum):
+    """Which stages apply to a stream of transactions."""
+
+    STAGE1_ONLY = "stage1"       # bare-metal OS, no hypervisor
+    STAGE2_ONLY = "stage2"       # device owned directly by a VM
+    NESTED = "nested"            # full dual-stage (VA -> IPA -> PA)
+    BYPASS = "bypass"            # physical addressing (OS-mediated legacy)
+
+
+class PageTable:
+    """A single-stage page-granular mapping with permissions."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._entries: Dict[int, Tuple[int, bool]] = {}  # vpn -> (ppn, writable)
+
+    def map(self, virt_page: int, phys_page: int, writable: bool = True) -> None:
+        self._entries[virt_page] = (phys_page, writable)
+
+    def map_range(self, virt_base: int, phys_base: int, size: int, writable: bool = True) -> None:
+        """Map ``size`` bytes starting at page-aligned bases."""
+        if virt_base % PAGE_SIZE or phys_base % PAGE_SIZE:
+            raise ValueError("map_range bases must be page-aligned")
+        pages = (size + PAGE_SIZE - 1) >> PAGE_SHIFT
+        for i in range(pages):
+            self.map((virt_base >> PAGE_SHIFT) + i, (phys_base >> PAGE_SHIFT) + i, writable)
+
+    def unmap(self, virt_page: int) -> bool:
+        return self._entries.pop(virt_page, None) is not None
+
+    def lookup(self, virt_page: int) -> Optional[Tuple[int, bool]]:
+        return self._entries.get(virt_page)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class SmmuStats:
+    translations: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    walks: int = 0
+    faults: int = 0
+
+    @property
+    def tlb_hit_rate(self) -> float:
+        total = self.tlb_hits + self.tlb_misses
+        return self.tlb_hits / total if total else 0.0
+
+
+class Smmu:
+    """A dual-stage SMMU instance serving one Worker's accelerator port.
+
+    ``translate`` returns ``(physical_address, latency_ns)``.  The latency
+    is zero on a TLB hit and one table-walk per missing stage otherwise;
+    in ``BYPASS`` regime addresses pass through untouched with zero cost
+    but the access requires OS mediation upstream (modelled by callers
+    adding a syscall cost -- see the FIG4 experiment).
+    """
+
+    def __init__(
+        self,
+        tlb_entries: int = 64,
+        walk_latency_ns: float = 90.0,
+        name: str = "",
+    ) -> None:
+        if tlb_entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.tlb_entries = tlb_entries
+        self.walk_latency_ns = walk_latency_ns
+        self.name = name
+        self.stats = SmmuStats()
+        # context id -> stage tables
+        self._stage1: Dict[int, PageTable] = {}
+        self._stage2: Dict[int, PageTable] = {}
+        self._regime: Dict[int, TranslationRegime] = {}
+        # TLB: (context, vpn) -> (ppn, writable); LRU order
+        self._tlb: "OrderedDict[Tuple[int, int], Tuple[int, bool]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # configuration (done by OS / hypervisor / middleware driver)
+    # ------------------------------------------------------------------
+    def attach_context(
+        self,
+        context: int,
+        regime: TranslationRegime,
+        stage1: Optional[PageTable] = None,
+        stage2: Optional[PageTable] = None,
+    ) -> None:
+        """Bind a stream context (e.g. an accelerator slot) to page tables."""
+        if regime in (TranslationRegime.STAGE1_ONLY, TranslationRegime.NESTED) and stage1 is None:
+            raise ValueError(f"regime {regime} requires a stage-1 table")
+        if regime in (TranslationRegime.STAGE2_ONLY, TranslationRegime.NESTED) and stage2 is None:
+            raise ValueError(f"regime {regime} requires a stage-2 table")
+        self._regime[context] = regime
+        if stage1 is not None:
+            self._stage1[context] = stage1
+        if stage2 is not None:
+            self._stage2[context] = stage2
+        self.invalidate_context(context)
+
+    def detach_context(self, context: int) -> None:
+        self._regime.pop(context, None)
+        self._stage1.pop(context, None)
+        self._stage2.pop(context, None)
+        self.invalidate_context(context)
+
+    def invalidate_context(self, context: int) -> int:
+        """Drop all TLB entries of one context (on remap/teardown)."""
+        stale = [k for k in self._tlb if k[0] == context]
+        for k in stale:
+            del self._tlb[k]
+        return len(stale)
+
+    def invalidate_all(self) -> None:
+        self._tlb.clear()
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+    def translate(self, context: int, addr: int, is_write: bool = False) -> Tuple[int, float]:
+        """Translate ``addr`` for ``context``; returns (PA, latency_ns)."""
+        regime = self._regime.get(context)
+        if regime is None:
+            self.stats.faults += 1
+            raise SmmuFault(0, context, addr)
+        self.stats.translations += 1
+        if regime is TranslationRegime.BYPASS:
+            return addr, 0.0
+
+        vpn = addr >> PAGE_SHIFT
+        offset = addr & (PAGE_SIZE - 1)
+        key = (context, vpn)
+        cached = self._tlb.get(key)
+        if cached is not None:
+            ppn, writable = cached
+            if is_write and not writable:
+                self.stats.faults += 1
+                raise SmmuFault(1, context, addr)
+            self._tlb.move_to_end(key)
+            self.stats.tlb_hits += 1
+            return (ppn << PAGE_SHIFT) | offset, 0.0
+
+        self.stats.tlb_misses += 1
+        latency = 0.0
+        page = vpn
+        writable = True
+
+        if regime in (TranslationRegime.STAGE1_ONLY, TranslationRegime.NESTED):
+            entry = self._stage1[context].lookup(page)
+            latency += self.walk_latency_ns
+            self.stats.walks += 1
+            if entry is None:
+                self.stats.faults += 1
+                raise SmmuFault(1, context, addr)
+            page, w1 = entry
+            writable = writable and w1
+
+        if regime in (TranslationRegime.STAGE2_ONLY, TranslationRegime.NESTED):
+            entry = self._stage2[context].lookup(page)
+            latency += self.walk_latency_ns
+            self.stats.walks += 1
+            if entry is None:
+                self.stats.faults += 1
+                raise SmmuFault(2, context, addr)
+            page, w2 = entry
+            writable = writable and w2
+
+        if is_write and not writable:
+            self.stats.faults += 1
+            raise SmmuFault(1, context, addr)
+
+        self._tlb[key] = (page, writable)
+        self._tlb.move_to_end(key)
+        while len(self._tlb) > self.tlb_entries:
+            self._tlb.popitem(last=False)
+        return (page << PAGE_SHIFT) | offset, latency
+
+    @property
+    def tlb_occupancy(self) -> int:
+        return len(self._tlb)

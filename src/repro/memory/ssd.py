@@ -1,0 +1,116 @@
+"""Worker-local SSD storage.
+
+"Each Worker node is an entire sub-system including processing units,
+memory, and storage" (Section 2).  The storage is what out-of-core
+workloads (the [5] sorting citation) spill to when the working set
+exceeds DRAM.
+
+Model: NVMe-class flash with asymmetric read/write latencies, a finite
+channel bandwidth, and a queue (one request in flight per channel pair)
+-- the first-order behaviour out-of-core cost models need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, Tuple
+
+from repro.sim import Resource, Simulator, Timeout
+
+
+@dataclass(frozen=True)
+class SsdTiming:
+    """NVMe-class defaults (times in ns, bandwidth in GB/s)."""
+
+    read_latency_ns: float = 80_000.0      # 80 us to first byte
+    write_latency_ns: float = 30_000.0     # write-back cached program
+    read_bandwidth_gbps: float = 3.2
+    write_bandwidth_gbps: float = 1.8
+    queue_depth: int = 8
+    capacity_bytes: int = 256 << 30
+    energy_per_byte_pj: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.read_latency_ns < 0 or self.write_latency_ns < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.read_bandwidth_gbps <= 0 or self.write_bandwidth_gbps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.queue_depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+
+
+class Ssd:
+    """One Worker's storage device."""
+
+    def __init__(self, sim: Simulator, timing: SsdTiming = SsdTiming(), name: str = "") -> None:
+        self.sim = sim
+        self.timing = timing
+        self.name = name or "ssd"
+        self._queue = Resource(sim, capacity=timing.queue_depth, name=f"{self.name}.q")
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.energy_pj = 0.0
+
+    # ------------------------------------------------------------------
+    def read_cost_ns(self, size: int) -> float:
+        if size <= 0:
+            raise ValueError(f"read size must be positive, got {size}")
+        return self.timing.read_latency_ns + size / self.timing.read_bandwidth_gbps
+
+    def write_cost_ns(self, size: int) -> float:
+        if size <= 0:
+            raise ValueError(f"write size must be positive, got {size}")
+        return self.timing.write_latency_ns + size / self.timing.write_bandwidth_gbps
+
+    def read(self, size: int) -> Generator:
+        """Simulation process: one read; returns latency_ns."""
+        cost = self.read_cost_ns(size)
+        start = self.sim.now
+        yield from self._queue.use(cost)
+        self.bytes_read += size
+        self.energy_pj += size * self.timing.energy_per_byte_pj
+        return self.sim.now - start
+
+    def write(self, size: int) -> Generator:
+        """Simulation process: one write; returns latency_ns."""
+        cost = self.write_cost_ns(size)
+        start = self.sim.now
+        yield from self._queue.use(cost)
+        self.bytes_written += size
+        self.energy_pj += size * self.timing.energy_per_byte_pj
+        return self.sim.now - start
+
+
+def out_of_core_passes(data_bytes: int, memory_bytes: int) -> int:
+    """Merge passes an external sort needs: 1 in-memory pass plus one
+    read+write sweep per extra merge level of fan-in data/memory."""
+    if data_bytes <= 0 or memory_bytes <= 0:
+        raise ValueError("sizes must be positive")
+    if data_bytes <= memory_bytes:
+        return 0
+    runs = math.ceil(data_bytes / memory_bytes)
+    # k-way merge with fan-in limited by memory (one buffer per run chunk)
+    fan_in = max(2, memory_bytes // (1 << 20))  # 1 MiB merge buffers
+    passes = 1
+    while runs > fan_in:
+        runs = math.ceil(runs / fan_in)
+        passes += 1
+    return passes
+
+
+def out_of_core_sort_cost_ns(
+    ssd: Ssd, data_bytes: int, memory_bytes: int
+) -> Tuple[float, int]:
+    """(I/O time, passes) for an external sort of ``data_bytes``.
+
+    Every pass reads and writes the full dataset once; in-memory sorts
+    (0 passes) are free on the storage axis.
+    """
+    passes = out_of_core_passes(data_bytes, memory_bytes)
+    if passes == 0:
+        return 0.0, 0
+    per_pass = ssd.read_cost_ns(data_bytes) + ssd.write_cost_ns(data_bytes)
+    return passes * per_pass, passes

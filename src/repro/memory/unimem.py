@@ -1,0 +1,130 @@
+"""UNIMEM: the partitioned global address space of one PGAS domain.
+
+:class:`UnimemSpace` is the authority a Compute Node's Workers consult for
+every memory transaction:
+
+- which Worker's DRAM backs a global address (via :class:`GlobalAddressMap`),
+- whether the issuing coherence island may *cache* the touched pages (via
+  :class:`PageRegistry` -- the single-cacheable-owner rule),
+- page-home migration ("move the task/data home"), which is what lets
+  UNIMEM "move tasks and processes close to data instead of moving data
+  around".
+
+It also accumulates the domain-wide traffic statistics the FIG3
+experiment reports (local vs. remote bytes, coherence-free operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.memory.address import PAGE_SHIFT, AddressRange, GlobalAddressMap
+from repro.memory.page import Page, PageOwnershipError, PageRegistry
+
+
+@dataclass(frozen=True)
+class AccessPlan:
+    """How one global-memory access must be carried out.
+
+    ``chunks`` are per-backing-worker pieces; ``cacheable`` says whether the
+    issuing island may cache *all* touched pages (mixed-cacheability
+    accesses are split by the caller per chunk).
+    """
+
+    node: int
+    rng: AddressRange
+    is_write: bool
+    chunks: Tuple[Tuple[int, AddressRange, bool], ...]  # (worker, sub-range, cacheable)
+
+    @property
+    def is_local(self) -> bool:
+        return all(w == self.node for w, _, __ in self.chunks)
+
+    @property
+    def remote_bytes(self) -> int:
+        return sum(r.size for w, r, _ in self.chunks if w != self.node)
+
+
+class UnimemSpace:
+    """One PGAS domain's shared partitioned global address space."""
+
+    def __init__(self, num_workers: int, window_size: int) -> None:
+        self.map = GlobalAddressMap(num_workers, window_size)
+        self.registry = PageRegistry()
+        self.local_bytes = 0
+        self.remote_bytes = 0
+        self.local_accesses = 0
+        self.remote_accesses = 0
+        self.coherence_messages = 0  # stays 0: UNIMEM needs none globally
+
+    @property
+    def num_workers(self) -> int:
+        return self.map.num_workers
+
+    # ------------------------------------------------------------------
+    # access planning
+    # ------------------------------------------------------------------
+    def plan_access(self, node: int, rng: AddressRange, is_write: bool) -> AccessPlan:
+        """Classify an access and record page/traffic bookkeeping."""
+        if rng.end > self.map.total_size:
+            raise ValueError(
+                f"range [{rng.base:#x}, {rng.end:#x}) exceeds the global space"
+            )
+        chunks: List[Tuple[int, AddressRange, bool]] = []
+        for worker, sub in self.map.split_by_worker(rng):
+            cacheable = True
+            for page_rng in sub.split_by_page():
+                pn = page_rng.base >> PAGE_SHIFT
+                ok = self.registry.record_access(pn, worker, node, is_write)
+                cacheable = cacheable and ok
+            chunks.append((worker, sub, cacheable))
+            if worker == node:
+                self.local_bytes += sub.size
+                self.local_accesses += 1
+            else:
+                self.remote_bytes += sub.size
+                self.remote_accesses += 1
+        return AccessPlan(node, rng, is_write, tuple(chunks))
+
+    # ------------------------------------------------------------------
+    # page home management
+    # ------------------------------------------------------------------
+    def page_home(self, addr: int) -> int:
+        """The coherence island currently allowed to cache ``addr``'s page."""
+        worker = self.map.worker_of(addr)
+        return self.registry.cacheable_home(addr >> PAGE_SHIFT, worker)
+
+    def rehome_range(self, rng: AddressRange, new_home: int) -> int:
+        """Move the cacheable home of all pages in ``rng``; returns #pages."""
+        if not 0 <= new_home < self.num_workers:
+            raise PageOwnershipError(f"node {new_home} is not in this domain")
+        moved = 0
+        for pn in rng.pages():
+            base = pn << PAGE_SHIFT
+            worker = self.map.worker_of(base)
+            self.registry.move_home(pn, worker, new_home)
+            moved += 1
+        return moved
+
+    def touched_pages(self) -> int:
+        return len(self.registry)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def traffic_summary(self) -> Dict[str, float]:
+        total = self.local_bytes + self.remote_bytes
+        return {
+            "local_bytes": float(self.local_bytes),
+            "remote_bytes": float(self.remote_bytes),
+            "remote_fraction": self.remote_bytes / total if total else 0.0,
+            "local_accesses": float(self.local_accesses),
+            "remote_accesses": float(self.remote_accesses),
+            "coherence_messages": float(self.coherence_messages),
+            "home_moves": float(self.registry.home_moves),
+        }
+
+    def reset_traffic(self) -> None:
+        self.local_bytes = self.remote_bytes = 0
+        self.local_accesses = self.remote_accesses = 0

@@ -1,0 +1,117 @@
+"""MPI-3.0-style process topologies.
+
+The paper's programming model leverages "the new topology abstractions"
+of MPI-3.0: applications declare their communication structure (cartesian
+grids for stencils, general graphs for irregular problems) and the
+runtime uses it for rank placement -- mapping neighbouring ranks onto
+nearby Workers in the machine hierarchy (the Fig. 1 partitioning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+class CartTopology:
+    """A cartesian rank grid (MPI_Cart_create semantics)."""
+
+    def __init__(self, dims: Sequence[int], periodic: Sequence[bool] = ()) -> None:
+        if not dims or any(d < 1 for d in dims):
+            raise ValueError(f"dims must be positive, got {dims}")
+        self.dims = tuple(dims)
+        if periodic and len(periodic) != len(dims):
+            raise ValueError("periodic flags must match dims length")
+        self.periodic = tuple(periodic) if periodic else tuple(False for _ in dims)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        """MPI_Cart_coords: row-major rank -> coordinates."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+        out = []
+        rem = rank
+        for d in reversed(self.dims):
+            out.append(rem % d)
+            rem //= d
+        return tuple(reversed(out))
+
+    def rank(self, coords: Sequence[int]) -> int:
+        """MPI_Cart_rank: coordinates -> rank (with periodic wrap)."""
+        if len(coords) != len(self.dims):
+            raise ValueError("coordinate arity mismatch")
+        rank = 0
+        for c, d, p in zip(coords, self.dims, self.periodic):
+            if p:
+                c %= d
+            if not 0 <= c < d:
+                raise ValueError(f"coordinate {c} out of range [0, {d})")
+            rank = rank * d + c
+        return rank
+
+    def shift(self, rank: int, dimension: int, displacement: int = 1):
+        """MPI_Cart_shift: (source, dest) ranks, ``None`` at open edges."""
+        if not 0 <= dimension < len(self.dims):
+            raise ValueError(f"dimension {dimension} out of range")
+        coords = list(self.coords(rank))
+
+        def neighbour(sign: int):
+            c = list(coords)
+            c[dimension] += sign * displacement
+            if self.periodic[dimension]:
+                c[dimension] %= self.dims[dimension]
+            elif not 0 <= c[dimension] < self.dims[dimension]:
+                return None
+            return self.rank(c)
+
+        return neighbour(-1), neighbour(+1)
+
+    def neighbours(self, rank: int) -> List[int]:
+        """All face neighbours (the stencil halo-exchange partners)."""
+        out = []
+        for dim in range(len(self.dims)):
+            src, dst = self.shift(rank, dim)
+            for n in (src, dst):
+                if n is not None and n != rank:
+                    out.append(n)
+        return sorted(set(out))
+
+
+class GraphTopology:
+    """A general communication graph (MPI_Dist_graph_create semantics)."""
+
+    def __init__(self, adjacency: Dict[int, Sequence[int]]) -> None:
+        if not adjacency:
+            raise ValueError("adjacency must be non-empty")
+        ranks = set(adjacency)
+        for r, neighbours in adjacency.items():
+            for n in neighbours:
+                if n not in ranks:
+                    raise ValueError(f"rank {r} lists unknown neighbour {n}")
+        self._adj = {r: sorted(set(n)) for r, n in adjacency.items()}
+
+    @property
+    def size(self) -> int:
+        return len(self._adj)
+
+    def neighbours(self, rank: int) -> List[int]:
+        if rank not in self._adj:
+            raise ValueError(f"unknown rank {rank}")
+        return list(self._adj[rank])
+
+    def degree(self, rank: int) -> int:
+        return len(self.neighbours(rank))
+
+    def edges(self) -> List[Tuple[int, int]]:
+        out = []
+        for r, ns in self._adj.items():
+            for n in ns:
+                if r < n:
+                    out.append((r, n))
+        return sorted(out)

@@ -1,0 +1,131 @@
+"""Cluster-scope buffers: the NODE_GLOBAL half of extension #1.
+
+A :class:`ClusterContext` spans a whole :class:`~repro.core.Machine`:
+one OpenCL context per Compute Node plus inter-node data movement over
+the MPI network (Fig. 3's "MPI-based multi-layer interconnection").
+Intra-node movement stays on the UNIMEM paths of :class:`CommandQueue`;
+crossing nodes costs real collective/message traffic on the inter-node
+tree -- the cost cliff that makes hierarchical partitioning worth it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.machine import Machine
+from repro.interconnect.message import Message, TransactionType
+from repro.mpi.comm import CollectiveResult
+from repro.opencl.context import Buffer, Context
+from repro.opencl.platform import Platform
+from repro.opencl.types import DataScope
+
+
+class ClusterContext:
+    """Per-node contexts plus inter-node transfers for one machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.platforms: List[Platform] = [Platform(node) for node in machine.nodes]
+        self.contexts: List[Context] = [Context(p) for p in self.platforms]
+        self.inter_node_bytes = 0
+        self.inter_node_transfers = 0
+
+    def __len__(self) -> int:
+        return len(self.contexts)
+
+    def context(self, node_id: int) -> Context:
+        if not 0 <= node_id < len(self.contexts):
+            raise IndexError(f"no compute node {node_id}")
+        return self.contexts[node_id]
+
+    def platform(self, node_id: int) -> Platform:
+        return self.platforms[node_id]
+
+    # ------------------------------------------------------------------
+    def create_buffer(
+        self,
+        node_id: int,
+        size_bytes: int,
+        affinity_worker: int = 0,
+        dtype=np.uint8,
+    ) -> Buffer:
+        """A NODE_GLOBAL buffer homed on one node's PGAS space."""
+        return self.context(node_id).create_buffer(
+            size_bytes,
+            scope=DataScope.NODE_GLOBAL,
+            affinity_worker=affinity_worker,
+            dtype=dtype,
+        )
+
+    def node_of(self, buf: Buffer) -> int:
+        """Which Compute Node a buffer lives on."""
+        for i, ctx in enumerate(self.contexts):
+            if buf.context is ctx:
+                return i
+        raise ValueError("buffer does not belong to this cluster context")
+
+    # ------------------------------------------------------------------
+    def copy(self, src: Buffer, dst: Buffer) -> Tuple[float, float]:
+        """Copy ``src`` into ``dst``; returns (latency_ns, energy_pj).
+
+        Same-node copies ride the intra-node network; cross-node copies
+        go over the MPI tree as one bulk message.
+        """
+        if src.size_bytes != dst.size_bytes:
+            raise ValueError("cluster copy requires equally sized buffers")
+        dst.array[:] = src.array.view(dst.array.dtype)
+        src_node, dst_node = self.node_of(src), self.node_of(dst)
+        if src_node == dst_node:
+            node = self.machine.node(src_node)
+            return node.transfer_cost(
+                src.home_worker, dst.home_worker, src.size_bytes, TransactionType.DMA
+            )
+        msg = Message(
+            self.machine.node_endpoints[src_node],
+            self.machine.node_endpoints[dst_node],
+            src.size_bytes,
+            TransactionType.MPI,
+        )
+        lat, energy = self.machine.inter_network.send_cost(msg)
+        self.machine.ledger.add("cluster.mpi", energy)
+        self.inter_node_bytes += src.size_bytes
+        self.inter_node_transfers += 1
+        return lat, energy
+
+    def broadcast(
+        self, src: Buffer, affinity_worker: int = 0
+    ) -> Tuple[List[Buffer], CollectiveResult]:
+        """Replicate a buffer onto every other node (binomial-tree cost);
+        returns the replicas (source node gets the original)."""
+        src_node = self.node_of(src)
+        result = self.machine.world.broadcast(src_node, src.size_bytes)
+        replicas: List[Buffer] = []
+        for node_id in range(len(self.contexts)):
+            if node_id == src_node:
+                replicas.append(src)
+                continue
+            replica = self.create_buffer(
+                node_id, src.size_bytes, affinity_worker, dtype=src.array.dtype
+            )
+            replica.array[:] = src.array
+            replicas.append(replica)
+        self.inter_node_bytes += result.bytes_moved
+        self.inter_node_transfers += len(self.contexts) - 1
+        return replicas, result
+
+    def gather_sum(self, parts: List[Buffer]) -> Tuple[np.ndarray, CollectiveResult]:
+        """Element-wise sum of per-node partials (allreduce cost model)."""
+        if not parts:
+            raise ValueError("need at least one partial buffer")
+        shape = parts[0].array.shape
+        for p in parts:
+            if p.array.shape != shape:
+                raise ValueError("partial buffers must have equal shapes")
+        result = self.machine.world.allreduce(parts[0].size_bytes)
+        total = np.zeros(shape, dtype=np.result_type(*(p.array.dtype for p in parts)))
+        for p in parts:
+            total = total + p.array
+        self.inter_node_bytes += result.bytes_moved
+        return total, result

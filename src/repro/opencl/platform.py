@@ -1,0 +1,68 @@
+"""Platforms and devices.
+
+Every ECOSCALE Worker exposes two OpenCL devices: its CPU cluster and its
+reconfigurable block (Section 4.4 treats workers as OpenCL "devices").
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional
+
+from repro.core.compute_node import ComputeNode
+from repro.core.unilogic import UnilogicDomain
+from repro.core.worker import Worker
+
+
+class DeviceType(Enum):
+    CPU = "cpu"
+    FPGA = "fpga"
+
+
+class Device:
+    """One OpenCL device: a Worker's CPU cluster or its fabric."""
+
+    def __init__(self, worker: Worker, device_type: DeviceType) -> None:
+        self.worker = worker
+        self.device_type = device_type
+        self.name = f"{worker.name}.{device_type.value}"
+
+    @property
+    def worker_id(self) -> int:
+        return self.worker.worker_id
+
+    @property
+    def compute_units(self) -> int:
+        if self.device_type is DeviceType.CPU:
+            return self.worker.params.cpu_cores
+        return len(self.worker.fabric)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Device {self.name}>"
+
+
+class Platform:
+    """The ECOSCALE platform over one Compute Node (PGAS partition)."""
+
+    def __init__(self, node: ComputeNode, name: str = "ECOSCALE") -> None:
+        self.node = node
+        self.name = name
+        self.unilogic = UnilogicDomain(node)
+        self._devices: List[Device] = []
+        for worker in node.workers:
+            self._devices.append(Device(worker, DeviceType.CPU))
+            self._devices.append(Device(worker, DeviceType.FPGA))
+
+    def devices(self, device_type: Optional[DeviceType] = None) -> List[Device]:
+        if device_type is None:
+            return list(self._devices)
+        return [d for d in self._devices if d.device_type is device_type]
+
+    def device(self, worker_id: int, device_type: DeviceType) -> Device:
+        for d in self._devices:
+            if d.worker_id == worker_id and d.device_type is device_type:
+                return d
+        raise KeyError(f"no {device_type.value} device on worker {worker_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Platform {self.name} devices={len(self._devices)}>"

@@ -1,0 +1,114 @@
+"""Programs and kernels.
+
+A :class:`Program` bundles, per function: the kernel IR (for timing on
+either device), an optional *host implementation* (a numpy callable, so
+ND-range executions produce real data), and -- once the programmer opts
+in via :meth:`enable_acceleration` -- HLS-generated accelerator modules
+that FPGA devices load on demand at runtime (paper extension #3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.worker import FunctionRegistry
+from repro.fabric.module_library import ModuleLibrary
+from repro.hls.frontend import parse_kernel
+from repro.hls.ir import Kernel
+from repro.hls.synthesis import HlsTool, SynthesisConstraints
+
+
+class KernelHandle:
+    """A callable kernel within a program, with bound arguments."""
+
+    def __init__(self, program: "Program", function: str) -> None:
+        self.program = program
+        self.function = function
+        self.args: tuple = ()
+
+    def set_args(self, *args) -> "KernelHandle":
+        self.args = args
+        return self
+
+    @property
+    def kernel_ir(self) -> Kernel:
+        return self.program.registry.kernel(self.function)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KernelHandle {self.function}>"
+
+
+class Program:
+    """A built program: kernels + host impls + (optionally) HW modules."""
+
+    def __init__(self, kernels: Sequence[Kernel]) -> None:
+        if not kernels:
+            raise ValueError("a program needs at least one kernel")
+        self.registry = FunctionRegistry()
+        for k in kernels:
+            self.registry.register(k)
+        self.library = ModuleLibrary()
+        self._host_impls: Dict[str, Callable] = {}
+        self._accelerated: set = set()
+
+    @classmethod
+    def from_source(
+        cls,
+        sources: Sequence[str],
+        global_size: int,
+        constants: Optional[Dict[str, int]] = None,
+    ) -> "Program":
+        """Build a program from OpenCL C source strings (the moral
+        equivalent of clCreateProgramWithSource): each string holds one
+        ``__kernel`` function, parsed by the HLS frontend into
+        timing-analyzable IR."""
+        kernels = [
+            parse_kernel(src, global_size, constants) for src in sources
+        ]
+        return cls(kernels)
+
+    # ------------------------------------------------------------------
+    def kernel(self, function: str) -> KernelHandle:
+        if function not in self.registry:
+            raise KeyError(f"program has no kernel {function!r}")
+        return KernelHandle(self, function)
+
+    def functions(self) -> List[str]:
+        return self.registry.functions()
+
+    # ------------------------------------------------------------------
+    def set_host_impl(self, function: str, fn: Callable) -> None:
+        """Attach the numpy reference implementation executed on any
+        device (the simulation provides the device-specific *timing*)."""
+        if function not in self.registry:
+            raise KeyError(f"program has no kernel {function!r}")
+        self._host_impls[function] = fn
+
+    def host_impl(self, function: str) -> Optional[Callable]:
+        return self._host_impls.get(function)
+
+    # ------------------------------------------------------------------
+    def enable_acceleration(
+        self,
+        function: str,
+        tool: Optional[HlsTool] = None,
+        constraints: SynthesisConstraints = SynthesisConstraints(),
+    ) -> int:
+        """Extension #3: mark ``function`` as hardware-acceleratable.
+
+        Runs the HLS flow now (compile time); FPGA devices load the
+        resulting modules on demand at runtime.  Returns the number of
+        module variants produced.
+        """
+        if function not in self.registry:
+            raise KeyError(f"program has no kernel {function!r}")
+        if function in self._accelerated:
+            return len(self.library.variants(function))
+        report = (tool or HlsTool()).compile(
+            self.registry.kernel(function), self.library, constraints
+        )
+        self._accelerated.add(function)
+        return len(report.modules)
+
+    def is_accelerated(self, function: str) -> bool:
+        return function in self._accelerated

@@ -1,0 +1,32 @@
+"""Shared enums for the OpenCL layer."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DataScope(Enum):
+    """The ECOSCALE data-scoping extension (paper extension #1).
+
+    - ``DEVICE``: classic OpenCL -- the buffer lives in (and is cacheable
+      by) exactly one Worker; other Workers must copy.
+    - ``PARTITION``: PGAS -- the buffer lives in one NUMA domain of the
+      Compute Node's UNIMEM space, but *every* Worker in the partition
+      may load/store it directly; the single-cacheable-owner rule (and
+      :meth:`Buffer.migrate`) governs who may cache.
+    - ``NODE_GLOBAL``: spans Compute Nodes; inter-node access goes over
+      MPI-style messages.
+    """
+
+    DEVICE = "device"
+    PARTITION = "partition"
+    NODE_GLOBAL = "node_global"
+
+
+class CommandType(Enum):
+    ND_RANGE = "nd_range"
+    READ = "read"
+    WRITE = "write"
+    COPY = "copy"
+    MIGRATE = "migrate"
+    MARKER = "marker"

@@ -1,0 +1,22 @@
+"""The PGAS layer: NUMA-aware global memory management.
+
+ECOSCALE treats "the global memory in each compute node as a collection
+of NUMA domains accessible via the UNIMEM interface" and explores
+"topology-aware global memory allocators in these domains, to be used by
+the OpenCL runtime for implicit data allocation, migration and
+replication between workers" (Section 4.4).
+"""
+
+from repro.pgas.allocator import Allocation, AllocationError, GlobalAllocator
+from repro.pgas.migration import MigrationPolicy, MigrationStats
+from repro.pgas.numa import NumaDomain, NumaMap
+
+__all__ = [
+    "Allocation",
+    "AllocationError",
+    "GlobalAllocator",
+    "MigrationPolicy",
+    "MigrationStats",
+    "NumaDomain",
+    "NumaMap",
+]

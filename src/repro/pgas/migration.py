@@ -1,0 +1,119 @@
+"""Page-home migration and replication policies.
+
+UNIMEM "gives the user the option to move tasks and processes close to
+data instead of moving data around" -- but when many remote accessors hit
+one page, re-homing (or replicating read-only data) is the right call.
+:class:`MigrationPolicy` watches the UNIMEM page registry's remote-access
+records and re-homes pages whose remote traffic dominates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.memory.address import PAGE_SHIFT, PAGE_SIZE
+from repro.memory.unimem import UnimemSpace
+
+
+@dataclass
+class MigrationStats:
+    pages_examined: int = 0
+    pages_migrated: int = 0
+    pages_replicated: int = 0
+    migration_bytes: int = 0
+
+
+class MigrationPolicy:
+    """Threshold-based page re-homing.
+
+    The policy counts per-(page, node) accesses reported through
+    :meth:`record`; when a remote node's access share for a page exceeds
+    ``migrate_threshold``, the page is re-homed to it.  Pages that are
+    written are never replicated; read-only pages with many distinct
+    readers are flagged for replication instead (replicas are cheaper
+    than ping-ponging the home).
+    """
+
+    def __init__(
+        self,
+        space: UnimemSpace,
+        migrate_threshold: float = 0.6,
+        min_accesses: int = 16,
+        replicate_reader_count: int = 3,
+    ) -> None:
+        if not 0.0 < migrate_threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if min_accesses < 1:
+            raise ValueError("min_accesses must be >= 1")
+        self.space = space
+        self.migrate_threshold = migrate_threshold
+        self.min_accesses = min_accesses
+        self.replicate_reader_count = replicate_reader_count
+        self.stats = MigrationStats()
+        # page -> node -> access count; page -> written?
+        self._counts: Dict[int, Counter] = defaultdict(Counter)
+        self._written: Dict[int, bool] = defaultdict(bool)
+        self.replicas: Dict[int, List[int]] = {}  # page -> replica nodes
+
+    # ------------------------------------------------------------------
+    def record(self, node: int, addr: int, size: int, is_write: bool) -> None:
+        """Feed one access into the policy's statistics."""
+        if size <= 0:
+            raise ValueError("access size must be positive")
+        first = addr >> PAGE_SHIFT
+        last = (addr + size - 1) >> PAGE_SHIFT
+        for page in range(first, last + 1):
+            self._counts[page][node] += 1
+            if is_write:
+                self._written[page] = True
+                # writes invalidate read replicas
+                self.replicas.pop(page, None)
+
+    # ------------------------------------------------------------------
+    def step(self) -> Tuple[int, int]:
+        """Run one policy evaluation over all observed pages.
+
+        Returns ``(migrated, replicated)`` counts for this step.
+        """
+        migrated = replicated = 0
+        for page, counts in self._counts.items():
+            self.stats.pages_examined += 1
+            total = sum(counts.values())
+            if total < self.min_accesses:
+                continue
+            home = self.space.registry.cacheable_home(
+                page, self.space.map.worker_of(page << PAGE_SHIFT)
+            )
+            top_node, top_count = counts.most_common(1)[0]
+            if top_node != home and top_count / total >= self.migrate_threshold:
+                self.space.rehome_range(
+                    # one page
+                    _page_range(page),
+                    top_node,
+                )
+                self.stats.pages_migrated += 1
+                self.stats.migration_bytes += PAGE_SIZE
+                migrated += 1
+                counts.clear()  # restart statistics after a move
+                continue
+            if not self._written[page]:
+                readers = [n for n, c in counts.items() if n != home and c > 0]
+                if len(readers) >= self.replicate_reader_count:
+                    existing = set(self.replicas.get(page, []))
+                    new = sorted(set(readers) - existing)
+                    if new:
+                        self.replicas[page] = sorted(existing | set(new))
+                        self.stats.pages_replicated += len(new)
+                        replicated += len(new)
+        return migrated, replicated
+
+    def has_replica(self, page: int, node: int) -> bool:
+        return node in self.replicas.get(page, [])
+
+
+def _page_range(page: int):
+    from repro.memory.address import AddressRange
+
+    return AddressRange(page << PAGE_SHIFT, PAGE_SIZE)

@@ -1,0 +1,116 @@
+"""Named configuration presets.
+
+Downstream users should not need to hand-assemble WorkerParams /
+ComputeNodeParams / MachineParams to get a sensible ECOSCALE machine;
+these factories encode the configurations the paper's prototype plans
+imply (Zynq-class Workers) and the scaling study uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.compute_node import ComputeNodeParams
+from repro.core.machine import MachineParams
+from repro.core.worker import FunctionRegistry, WorkerParams
+from repro.fabric.module_library import ModuleLibrary
+from repro.hls.kernels import (
+    cart_split_kernel,
+    fir_kernel,
+    matmul_kernel,
+    montecarlo_kernel,
+    saxpy_kernel,
+    stencil_kernel,
+    vecadd_kernel,
+)
+from repro.hls.software import SoftwareCostModel
+from repro.hls.synthesis import HlsTool, SynthesisConstraints
+from repro.memory.cache import CacheGeometry
+from repro.memory.dram import DramTiming
+
+
+def zynq_worker() -> WorkerParams:
+    """A Zynq UltraScale+-class Worker: 4xA53-ish cores, modest fabric."""
+    return WorkerParams(
+        cpu_cores=4,
+        software=SoftwareCostModel(clock_ghz=1.5, issue_width=2.0),
+        cache=CacheGeometry(size_bytes=1 << 20, line_bytes=64, associativity=16),
+        dram=DramTiming(bandwidth_gbps=12.8, capacity_bytes=1 << 30),
+        fabric_columns=60,
+        fabric_rows=50,
+        fabric_regions=2,
+    )
+
+
+def hpc_worker() -> WorkerParams:
+    """A beefier future Worker: 8 fast cores, a large fabric, HBM-class
+    bandwidth -- the 'integration capabilities of future technologies'."""
+    return WorkerParams(
+        cpu_cores=8,
+        software=SoftwareCostModel(clock_ghz=2.5, issue_width=3.0),
+        cache=CacheGeometry(size_bytes=4 << 20, line_bytes=64, associativity=16),
+        dram=DramTiming(bandwidth_gbps=64.0, capacity_bytes=4 << 30),
+        fabric_columns=120,
+        fabric_rows=80,
+        fabric_regions=4,
+    )
+
+
+def board_node(workers: int = 4, worker: WorkerParams = None) -> ComputeNodeParams:
+    """One board: a handful of Workers on a single-level interconnect."""
+    return ComputeNodeParams(
+        num_workers=workers, worker=worker or zynq_worker()
+    )
+
+
+def chassis_node(workers: int = 16, fanout: int = 4) -> ComputeNodeParams:
+    """A chassis-scale PGAS partition: two interconnect levels inside."""
+    return ComputeNodeParams(
+        num_workers=workers, worker=zynq_worker(), intra_fanout=fanout
+    )
+
+
+def testbench_machine() -> MachineParams:
+    """The small machine the ECOSCALE project's prototype targets."""
+    return MachineParams(num_nodes=2, node=board_node())
+
+
+def petascale_machine() -> MachineParams:
+    """A petascale-ish hierarchy: 4 chassis x 16 workers."""
+    return MachineParams(
+        num_nodes=4, node=chassis_node(), inter_node_fanouts=[4]
+    )
+
+
+def exascale_machine() -> MachineParams:
+    """The deepest hierarchy the experiments sweep: 64 nodes, 3 levels."""
+    return MachineParams(
+        num_nodes=64,
+        node=chassis_node(workers=8, fanout=4),
+        inter_node_fanouts=[4, 4, 4],
+    )
+
+
+def standard_kernel_suite() -> List:
+    """Every characterized kernel at its default size."""
+    return [
+        vecadd_kernel(),
+        saxpy_kernel(),
+        stencil_kernel(),
+        matmul_kernel(),
+        fir_kernel(),
+        montecarlo_kernel(),
+        cart_split_kernel(),
+    ]
+
+
+def compiled_suite(max_variants: int = 2) -> Tuple[FunctionRegistry, ModuleLibrary]:
+    """Registry + module library for the whole kernel suite (runs the HLS
+    flow once; reuse the result across experiments)."""
+    registry = FunctionRegistry()
+    library = ModuleLibrary()
+    tool = HlsTool()
+    for kernel in standard_kernel_suite():
+        registry.register(kernel)
+        tool.compile(kernel, library, SynthesisConstraints(max_variants=max_variants))
+    return registry, library

@@ -1,0 +1,61 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every ECOSCALE hardware model (Workers, interconnects, fabrics, memories)
+runs on this kernel.  It provides:
+
+- :class:`Simulator` -- the event loop with a simulated clock,
+- :class:`Process` -- generator-based coroutines describing hardware or
+  software behaviour over simulated time,
+- :class:`Signal` -- one-shot completion events processes can wait on,
+- :class:`Resource` / :class:`Store` -- contention points (ports, buses,
+  configuration controllers),
+- :class:`Monitor` and friends -- statistics collection.
+
+The kernel is deterministic: events at equal timestamps fire in
+(priority, insertion-order) order, so simulations are exactly repeatable.
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.process import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    Signal,
+    Timeout,
+    spawn,
+)
+from repro.sim.resources import PriorityResource, Request, Resource, Store
+from repro.sim.trace import Span, Tracer, render_timeline
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    Monitor,
+    StatRegistry,
+    TimeWeighted,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Event",
+    "Histogram",
+    "Interrupt",
+    "Monitor",
+    "PriorityResource",
+    "Process",
+    "Request",
+    "Resource",
+    "Signal",
+    "Span",
+    "SimulationError",
+    "Simulator",
+    "StatRegistry",
+    "Store",
+    "TimeWeighted",
+    "Timeout",
+    "Tracer",
+    "render_timeline",
+    "spawn",
+]

@@ -1,0 +1,249 @@
+"""Generator-based processes on top of the event loop.
+
+A process is a Python generator that yields *waitables*:
+
+- :class:`Timeout` -- advance simulated time,
+- :class:`Signal` -- a one-shot event another process triggers,
+- another :class:`Process` -- wait for its completion (its return value is
+  delivered as the value of the ``yield``),
+- :class:`AllOf` / :class:`AnyOf` -- composite waits.
+
+Example::
+
+    def producer(sim, sig):
+        yield Timeout(10)
+        sig.succeed("payload")
+
+    def consumer(sim, sig):
+        value = yield sig
+        return value
+
+    sim = Simulator()
+    sig = Signal(sim)
+    sim.process(producer(sim, sig))   # via the helper in this module
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Waitable:
+    """Base class for things a process may ``yield``."""
+
+    def _subscribe(self, sim: Simulator, callback: Callable[[Any], None]) -> None:
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Wait ``delay`` simulated time units; the yield returns ``value``."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+        self.value = value
+
+    def _subscribe(self, sim: Simulator, callback: Callable[[Any], None]) -> None:
+        sim.schedule(self.delay, callback, self.value)
+
+
+class Signal(Waitable):
+    """A one-shot event.  Processes wait on it; someone calls :meth:`succeed`.
+
+    A signal that is already succeeded resumes waiters immediately (at the
+    current simulated time), so there is no race between "wait then fire"
+    and "fire then wait".
+    """
+
+    __slots__ = ("sim", "_value", "_fired", "_waiters", "_failure")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._value: Any = None
+        self._failure: Optional[BaseException] = None
+        self._fired = False
+        self._waiters: List[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError("signal has not fired yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Signal":
+        if self._fired:
+            raise SimulationError("signal already fired")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.schedule(0.0, waiter, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Signal":
+        """Fire the signal with an exception; waiters see it raised."""
+        if self._fired:
+            raise SimulationError("signal already fired")
+        self._fired = True
+        self._failure = exc
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.schedule(0.0, waiter, exc)
+        return self
+
+    def _subscribe(self, sim: Simulator, callback: Callable[[Any], None]) -> None:
+        if self._fired:
+            payload = self._failure if self._failure is not None else self._value
+            sim.schedule(0.0, callback, payload)
+        else:
+            self._waiters.append(callback)
+
+
+class AllOf(Waitable):
+    """Wait for every child; yields the list of their values (in order)."""
+
+    def __init__(self, children: Iterable[Waitable]) -> None:
+        self.children = list(children)
+
+    def _subscribe(self, sim: Simulator, callback: Callable[[Any], None]) -> None:
+        results: List[Any] = [None] * len(self.children)
+        remaining = [len(self.children)]
+        if not self.children:
+            sim.schedule(0.0, callback, [])
+            return
+
+        def make_child_cb(index: int) -> Callable[[Any], None]:
+            def child_cb(value: Any) -> None:
+                results[index] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    callback(results)
+
+            return child_cb
+
+        for i, child in enumerate(self.children):
+            child._subscribe(sim, make_child_cb(i))
+
+
+class AnyOf(Waitable):
+    """Wait for the first child; yields ``(index, value)`` of the winner."""
+
+    def __init__(self, children: Iterable[Waitable]) -> None:
+        self.children = list(children)
+        if not self.children:
+            raise SimulationError("AnyOf needs at least one child")
+
+    def _subscribe(self, sim: Simulator, callback: Callable[[Any], None]) -> None:
+        done = [False]
+
+        def make_child_cb(index: int) -> Callable[[Any], None]:
+            def child_cb(value: Any) -> None:
+                if not done[0]:
+                    done[0] = True
+                    callback((index, value))
+
+            return child_cb
+
+        for i, child in enumerate(self.children):
+            child._subscribe(sim, make_child_cb(i))
+
+
+class Process(Waitable):
+    """A running generator coroutine.
+
+    Created with ``Process(sim, generator)``; it schedules itself
+    immediately.  Other processes can ``yield`` it to join on completion,
+    and :meth:`interrupt` throws :class:`Interrupt` into it.
+    """
+
+    def __init__(self, sim: Simulator, gen: Generator[Waitable, Any, Any], name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Signal(sim)
+        self._alive = True
+        sim.schedule(0.0, self._resume, None)
+
+    # -- Waitable protocol -------------------------------------------------
+    def _subscribe(self, sim: Simulator, callback: Callable[[Any], None]) -> None:
+        self.done._subscribe(sim, callback)
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def value(self) -> Any:
+        """The process return value (valid once it has finished)."""
+        return self.done.value
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self._alive:
+            return
+        self.sim.schedule(0.0, self._throw, Interrupt(cause))
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self._alive:
+            return
+        try:
+            item = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # Uncaught interrupt terminates the process quietly.
+            self._finish(None)
+            return
+        self._wait_on(item)
+
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            if isinstance(value, BaseException):
+                item = self.gen.throw(value)
+            else:
+                item = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(item)
+
+    def _wait_on(self, item: Waitable) -> None:
+        if not isinstance(item, Waitable):
+            raise SimulationError(
+                f"process {self.name!r} yielded {item!r}, which is not a Waitable"
+            )
+        item._subscribe(self.sim, self._resume)
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        self.done.succeed(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+def spawn(sim: Simulator, gen: Generator[Waitable, Any, Any], name: str = "") -> Process:
+    """Convenience wrapper: start ``gen`` as a :class:`Process` on ``sim``."""
+    return Process(sim, gen, name=name)

@@ -1,0 +1,229 @@
+"""Contention points: resources with finite capacity and object stores.
+
+These model the shared hardware of ECOSCALE -- interconnect ports, the
+FPGA configuration port, DRAM channels, accelerator slots -- anywhere
+requests queue up.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import Signal, Timeout, Waitable
+
+
+class Request(Signal):
+    """A pending acquisition of a :class:`Resource` slot.
+
+    ``yield``-able; fires when the slot is granted.  Must be released via
+    :meth:`Resource.release` (or use the ``using`` helper pattern in
+    process code).
+    """
+
+    def __init__(self, sim: Simulator, resource: "Resource") -> None:
+        super().__init__(sim)
+        self.resource = resource
+
+
+class Resource:
+    """A FIFO resource with ``capacity`` identical slots.
+
+    >>> # inside a process:
+    >>> # req = bus.request()
+    >>> # yield req
+    >>> # ... use the bus for some Timeout ...
+    >>> # bus.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: Deque[Request] = deque()
+        # statistics
+        self.total_requests = 0
+        self.total_wait_time = 0.0
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of (slot x time) busy since construction."""
+        now = self.sim.now if horizon is None else horizon
+        busy = self._busy_time + self._in_use * (now - self._last_change)
+        if now <= 0:
+            return 0.0
+        return busy / (now * self.capacity)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    # ------------------------------------------------------------------
+    def request(self) -> Request:
+        self.total_requests += 1
+        req = Request(self.sim, self)
+        req._t_request = self.sim.now  # type: ignore[attr-defined]
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            req.succeed(self)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        if req.resource is not self:
+            raise SimulationError("releasing a request of a different resource")
+        self._account()
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self.total_wait_time += self.sim.now - nxt._t_request  # type: ignore[attr-defined]
+            nxt.succeed(self)
+            # slot moves straight from req to nxt: _in_use unchanged
+        else:
+            self._in_use -= 1
+            if self._in_use < 0:
+                raise SimulationError(f"resource {self.name!r} over-released")
+
+    def use(self, hold: float):
+        """Process helper: acquire, hold for ``hold`` time, release.
+
+        Usage inside a process::
+
+            yield from bus.use(cycles)
+        """
+        req = self.request()
+        yield req
+        try:
+            yield Timeout(hold)
+        finally:
+            self.release(req)
+
+
+class PriorityRequest(Request):
+    def __init__(self, sim: Simulator, resource: "PriorityResource", priority: int, seq: int) -> None:
+        super().__init__(sim, resource)
+        self.priority = priority
+        self.seq = seq
+
+    def __lt__(self, other: "PriorityRequest") -> bool:
+        return (self.priority, self.seq) < (other.priority, other.seq)
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is ordered by (priority, FIFO).
+
+    Lower ``priority`` values are served first -- matching interconnect
+    QoS semantics where latency-critical traffic (e.g. synchronization
+    messages) overtakes bulk DMA.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        super().__init__(sim, capacity, name)
+        self._pwaiting: List[PriorityRequest] = []
+        self._pseq = 0
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        self.total_requests += 1
+        req = PriorityRequest(self.sim, self, priority, self._pseq)
+        self._pseq += 1
+        req._t_request = self.sim.now  # type: ignore[attr-defined]
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            req.succeed(self)
+        else:
+            heapq.heappush(self._pwaiting, req)
+        return req
+
+    def release(self, req: Request) -> None:  # type: ignore[override]
+        if req.resource is not self:
+            raise SimulationError("releasing a request of a different resource")
+        self._account()
+        if self._pwaiting:
+            nxt = heapq.heappop(self._pwaiting)
+            self.total_wait_time += self.sim.now - nxt._t_request  # type: ignore[attr-defined]
+            nxt.succeed(self)
+        else:
+            self._in_use -= 1
+            if self._in_use < 0:
+                raise SimulationError(f"resource {self.name!r} over-released")
+
+    @property
+    def queue_length(self) -> int:  # type: ignore[override]
+        return len(self._pwaiting)
+
+    def use(self, hold: float, priority: int = 0):
+        req = self.request(priority)
+        yield req
+        try:
+            yield Timeout(hold)
+        finally:
+            self.release(req)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO of Python objects between processes.
+
+    ``put`` and ``get`` return :class:`Signal`-like waitables; a ``get`` on
+    an empty store blocks the consumer until a producer puts.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "") -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+        self._putters: Deque[Tuple[Signal, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Signal:
+        sig = Signal(self.sim)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            sig.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            sig.succeed(None)
+        else:
+            self._putters.append((sig, item))
+        return sig
+
+    def get(self) -> Signal:
+        sig = Signal(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                psig, pitem = self._putters.popleft()
+                self._items.append(pitem)
+                psig.succeed(None)
+            sig.succeed(item)
+        elif self._putters:
+            psig, pitem = self._putters.popleft()
+            psig.succeed(None)
+            sig.succeed(pitem)
+        else:
+            self._getters.append(sig)
+        return sig

@@ -1,0 +1,231 @@
+"""Statistics collection for simulation runs.
+
+These helpers are deliberately simulation-aware: time-weighted statistics
+use the simulator clock so that e.g. "mean queue depth" integrates over
+simulated time rather than over samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+class Counter:
+    """A named monotonically-accumulating counter."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0.0
+        self.events = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+        self.events += 1
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.events = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Monitor:
+    """Collects samples and reports summary statistics."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._n = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def record(self, value: float) -> None:
+        self._n += 1
+        self._sum += value
+        self._sumsq += value * value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._n if self._n else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self._n < 2:
+            return 0.0
+        m = self.mean
+        return max(0.0, self._sumsq / self._n - m * m)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._n else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._n else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self._n),
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "total": self._sum,
+        }
+
+
+class TimeWeighted:
+    """A piecewise-constant signal integrated over simulated time.
+
+    Used for queue depths, number of busy accelerators, instantaneous
+    power, etc.
+    """
+
+    def __init__(self, sim: Simulator, initial: float = 0.0, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value = initial
+        self._last_time = sim.now
+        self._area = 0.0
+        self._t0 = sim.now
+        self._max = initial
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.sim.now
+        self._area += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+        if value > self._max:
+            self._max = value
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def time_average(self) -> float:
+        elapsed = self.sim.now - self._t0
+        if elapsed <= 0:
+            return self._value
+        area = self._area + self._value * (self.sim.now - self._last_time)
+        return area / elapsed
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+
+class Histogram:
+    """A fixed-bin histogram for latency / size distributions."""
+
+    def __init__(self, bin_edges: List[float], name: str = "") -> None:
+        if sorted(bin_edges) != list(bin_edges) or len(bin_edges) < 2:
+            raise ValueError("bin_edges must be a sorted list of >= 2 edges")
+        self.name = name
+        self.edges = list(bin_edges)
+        self.counts = [0] * (len(bin_edges) - 1)
+        self.underflow = 0
+        self.overflow = 0
+        self._monitor = Monitor(name)
+
+    def record(self, value: float) -> None:
+        self._monitor.record(value)
+        if value < self.edges[0]:
+            self.underflow += 1
+            return
+        if value >= self.edges[-1]:
+            self.overflow += 1
+            return
+        # binary search
+        lo, hi = 0, len(self.edges) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if value < self.edges[mid]:
+                hi = mid
+            else:
+                lo = mid
+        self.counts[lo] += 1
+
+    @property
+    def count(self) -> int:
+        return self._monitor.count
+
+    @property
+    def mean(self) -> float:
+        return self._monitor.mean
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile from bin midpoints (p in [0, 100])."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        total = sum(self.counts) + self.underflow + self.overflow
+        if total == 0:
+            return 0.0
+        target = total * p / 100.0
+        running: float = self.underflow
+        if running >= target and self.underflow:
+            return self.edges[0]
+        for i, c in enumerate(self.counts):
+            running += c
+            if running >= target:
+                return 0.5 * (self.edges[i] + self.edges[i + 1])
+        return self.edges[-1]
+
+
+class StatRegistry:
+    """A namespace of named statistics shared by a simulated machine."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.counters: Dict[str, Counter] = {}
+        self.monitors: Dict[str, Monitor] = {}
+        self.gauges: Dict[str, TimeWeighted] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def monitor(self, name: str) -> Monitor:
+        if name not in self.monitors:
+            self.monitors[name] = Monitor(name)
+        return self.monitors[name]
+
+    def gauge(self, name: str, initial: float = 0.0) -> TimeWeighted:
+        if name not in self.gauges:
+            self.gauges[name] = TimeWeighted(self.sim, initial, name)
+        return self.gauges[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for name, c in self.counters.items():
+            out[f"counter.{name}"] = c.value
+        for name, m in self.monitors.items():
+            out[f"monitor.{name}.mean"] = m.mean
+            out[f"monitor.{name}.count"] = float(m.count)
+        for name, g in self.gauges.items():
+            out[f"gauge.{name}.avg"] = g.time_average()
+        return out

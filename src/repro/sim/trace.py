@@ -1,0 +1,142 @@
+"""Execution tracing: spans, counters, and a text timeline.
+
+Production simulators need to answer "what was every component doing
+when?".  :class:`Tracer` records named spans (begin/end on simulated
+time) grouped by lane (one lane per Worker, accelerator, link, ...);
+:func:`render_timeline` prints an ASCII Gantt chart, and the trace can
+be exported in the Chrome ``chrome://tracing`` JSON format for real
+tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class Span:
+    """One traced activity interval."""
+
+    lane: str
+    name: str
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans against one simulator's clock."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.spans: List[Span] = []
+        self._open: Dict[Tuple[str, str], Span] = {}
+
+    # ------------------------------------------------------------------
+    def begin(self, lane: str, name: str) -> Span:
+        key = (lane, name)
+        if key in self._open:
+            raise ValueError(f"span {name!r} already open on lane {lane!r}")
+        span = Span(lane=lane, name=name, start=self.sim.now)
+        self._open[key] = span
+        self.spans.append(span)
+        return span
+
+    def end(self, lane: str, name: str) -> Span:
+        key = (lane, name)
+        span = self._open.pop(key, None)
+        if span is None:
+            raise ValueError(f"no open span {name!r} on lane {lane!r}")
+        span.end = self.sim.now
+        return span
+
+    def span(self, lane: str, name: str):
+        """Context-manager-style tracing for plain (non-process) code."""
+        tracer = self
+
+        class _Ctx:
+            def __enter__(self):
+                return tracer.begin(lane, name)
+
+            def __exit__(self, *exc):
+                tracer.end(lane, name)
+                return False
+
+        return _Ctx()
+
+    def instant(self, lane: str, name: str) -> Span:
+        """A zero-duration marker."""
+        span = Span(lane=lane, name=name, start=self.sim.now, end=self.sim.now)
+        self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    def lanes(self) -> List[str]:
+        seen: List[str] = []
+        for s in self.spans:
+            if s.lane not in seen:
+                seen.append(s.lane)
+        return seen
+
+    def closed_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.end is not None]
+
+    def busy_time(self, lane: str) -> float:
+        return sum(s.duration or 0.0 for s in self.closed_spans() if s.lane == lane)
+
+    def utilization(self, lane: str) -> float:
+        if self.sim.now <= 0:
+            return 0.0
+        return self.busy_time(lane) / self.sim.now
+
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> str:
+        """Chrome tracing JSON (load in chrome://tracing or Perfetto)."""
+        events = []
+        for s in self.closed_spans():
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": "sim",
+                    "ph": "X",
+                    "ts": s.start / 1000.0,   # chrome wants microseconds
+                    "dur": (s.duration or 0.0) / 1000.0,
+                    "pid": 0,
+                    "tid": s.lane,
+                }
+            )
+        return json.dumps({"traceEvents": events})
+
+
+def render_timeline(tracer: Tracer, width: int = 72) -> str:
+    """An ASCII Gantt chart of all closed spans."""
+    spans = tracer.closed_spans()
+    if not spans:
+        return "(no closed spans)"
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans if s.end is not None)
+    horizon = max(t1 - t0, 1e-9)
+    lane_width = max(len(l) for l in tracer.lanes())
+    lines = [
+        f"{'lane'.ljust(lane_width)} | timeline ({t0:.0f} .. {t1:.0f} ns)"
+    ]
+    for lane in tracer.lanes():
+        row = [" "] * width
+        for s in spans:
+            if s.lane != lane:
+                continue
+            a = int((s.start - t0) / horizon * (width - 1))
+            b = int(((s.end or s.start) - t0) / horizon * (width - 1))
+            for i in range(a, max(a, b) + 1):
+                row[i] = "#" if row[i] == " " else "%"  # % marks overlap
+        lines.append(f"{lane.ljust(lane_width)} | {''.join(row)}")
+    return "\n".join(lines)

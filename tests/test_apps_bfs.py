@@ -1,0 +1,100 @@
+"""Unit tests for the distributed BFS workload."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.bfs import (
+    CsrGraph,
+    bfs_levels,
+    frontier_exchange_plan,
+    random_graph,
+)
+
+
+class TestGraph:
+    def test_random_graph_symmetric(self):
+        g = random_graph(100, avg_degree=6, seed=1)
+        assert g.num_vertices == 100
+        # symmetry: u in N(v) <=> v in N(u)
+        for v in range(0, 100, 17):
+            for u in g.neighbours(v):
+                assert v in g.neighbours(int(u))
+
+    def test_deterministic(self):
+        a = random_graph(50, seed=3)
+        b = random_graph(50, seed=3)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_graph(1)
+        with pytest.raises(ValueError):
+            random_graph(10, avg_degree=0)
+
+    def test_degree(self):
+        g = random_graph(30, seed=2)
+        assert g.degree(0) == len(g.neighbours(0))
+
+
+class TestBfs:
+    def test_matches_networkx(self):
+        g = random_graph(200, avg_degree=5, seed=7)
+        levels = bfs_levels(g, source=0)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_vertices))
+        for v in range(g.num_vertices):
+            for u in g.neighbours(v):
+                nxg.add_edge(v, int(u))
+        expected = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(g.num_vertices):
+            if v in expected:
+                assert levels[v] == expected[v]
+            else:
+                assert levels[v] == -1
+
+    def test_source_level_zero(self):
+        g = random_graph(50, seed=4)
+        assert bfs_levels(g, 5)[5] == 0
+
+    def test_source_validation(self):
+        g = random_graph(10, seed=1)
+        with pytest.raises(ValueError):
+            bfs_levels(g, 99)
+
+
+class TestExchangePlan:
+    def test_messages_count_discoveries(self):
+        g = random_graph(300, avg_degree=6, seed=9)
+        levels = bfs_levels(g)
+        plans = frontier_exchange_plan(g, levels, partitions=4)
+        assert plans
+        for plan in plans:
+            for i, j, c in plan.messages:
+                assert i != j
+                assert c > 0
+                assert 0 <= i < 4 and 0 <= j < 4
+
+    def test_single_partition_no_traffic(self):
+        g = random_graph(100, seed=2)
+        levels = bfs_levels(g)
+        plans = frontier_exchange_plan(g, levels, partitions=1)
+        assert all(p.message_count == 0 for p in plans)
+
+    def test_messages_are_small_and_irregular(self):
+        """The paper's premise: frontier messages are small (few vertices
+        per partner) and partner sets vary level to level."""
+        g = random_graph(2000, avg_degree=4, seed=11)
+        levels = bfs_levels(g)
+        plans = frontier_exchange_plan(g, levels, partitions=8)
+        busy = [p for p in plans if p.message_count]
+        assert busy
+        # the early frontier levels have few vertices per message
+        assert busy[0].mean_message_vertices() < 32
+        partner_sets = [frozenset((i, j) for i, j, _ in p.messages) for p in busy]
+        assert len(set(partner_sets)) > 1  # pattern changes across levels
+
+    def test_validation(self):
+        g = random_graph(10, seed=1)
+        with pytest.raises(ValueError):
+            frontier_exchange_plan(g, bfs_levels(g), 0)

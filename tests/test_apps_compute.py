@@ -1,0 +1,134 @@
+"""Unit tests for matmul, Monte-Carlo, n-body and CART workloads."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    CartTree,
+    blocked_matmul,
+    european_call_mc,
+    gbm_paths,
+    make_classification,
+    matmul_task_list,
+    nbody_energy,
+    nbody_step,
+)
+from repro.apps.montecarlo import black_scholes_call
+from repro.apps.nbody import plummer_sphere
+
+
+class TestMatmul:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(17, 23))
+        b = rng.normal(size=(23, 9))
+        np.testing.assert_allclose(blocked_matmul(a, b, 5), a @ b, rtol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(np.zeros((2, 3)), np.zeros((2, 3)), 1)
+        with pytest.raises(ValueError):
+            blocked_matmul(np.zeros((2, 2)), np.zeros((2, 2)), 0)
+
+    def test_task_list_count(self):
+        tasks = matmul_task_list(8, 8, 8, 4)
+        assert len(tasks) == 2 * 2 * 2
+        assert tasks[0] == (0, 0, 0)
+        with pytest.raises(ValueError):
+            matmul_task_list(0, 1, 1, 1)
+
+
+class TestMonteCarlo:
+    def test_paths_shape_and_start(self):
+        p = gbm_paths(100.0, 0.05, 0.2, 1.0, steps=16, paths=50, seed=3)
+        assert p.shape == (50, 17)
+        assert np.all(p[:, 0] == 100.0)
+        assert np.all(p > 0)
+
+    def test_deterministic_by_seed(self):
+        a = gbm_paths(100, 0.05, 0.2, 1.0, 8, 10, seed=5)
+        b = gbm_paths(100, 0.05, 0.2, 1.0, 8, 10, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_price_near_black_scholes(self):
+        price, stderr = european_call_mc(
+            100.0, 105.0, 0.03, 0.2, 1.0, steps=32, paths=40000, seed=7
+        )
+        reference = black_scholes_call(100.0, 105.0, 0.03, 0.2, 1.0)
+        assert abs(price - reference) < 4 * stderr + 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gbm_paths(-1, 0, 0.2, 1.0, 4, 4)
+        with pytest.raises(ValueError):
+            european_call_mc(100, -5, 0.05, 0.2, 1.0)
+        with pytest.raises(ValueError):
+            black_scholes_call(100, 100, 0.05, 0, 1.0)
+
+
+class TestNbody:
+    def test_two_body_attraction(self):
+        p = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        v = np.zeros((2, 3))
+        m = np.ones(2)
+        new_p, _ = nbody_step(p, v, m, dt=0.01)
+        # bodies move toward each other along x
+        assert new_p[0, 0] > 0.0
+        assert new_p[1, 0] < 1.0
+
+    def test_energy_roughly_conserved(self):
+        p, v, m = plummer_sphere(32, seed=2)
+        e0 = nbody_energy(p, v, m)
+        for _ in range(20):
+            p, v = nbody_step(p, v, m, dt=1e-4)
+        e1 = nbody_energy(p, v, m)
+        assert abs(e1 - e0) / abs(e0) < 0.05
+
+    def test_validation(self):
+        p, v, m = plummer_sphere(4)
+        with pytest.raises(ValueError):
+            nbody_step(p[:, :2], v, m, 0.01)
+        with pytest.raises(ValueError):
+            nbody_step(p, v, m[:-1], 0.01)
+        with pytest.raises(ValueError):
+            nbody_step(p, v, m, dt=0)
+        with pytest.raises(ValueError):
+            plummer_sphere(1)
+
+
+class TestCart:
+    def test_learns_separable_data(self):
+        x, y = make_classification(400, 6, 2, seed=1)
+        tree = CartTree(max_depth=8).fit(x, y)
+        assert tree.accuracy(x, y) > 0.9
+
+    def test_generalizes(self):
+        x, y = make_classification(600, 6, 3, seed=2)
+        train_x, test_x = x[:400], x[400:]
+        train_y, test_y = y[:400], y[400:]
+        tree = CartTree(max_depth=8).fit(train_x, train_y)
+        assert tree.accuracy(test_x, test_y) > 0.7
+
+    def test_pure_node_stops(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = CartTree().fit(x, y)
+        assert tree.node_count == 1
+        assert np.all(tree.predict(x) == 1)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            CartTree().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CartTree(max_depth=0)
+        with pytest.raises(ValueError):
+            CartTree().fit(np.zeros((3, 2)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            make_classification(1, 2, 2)
+
+    def test_splits_counted_for_hw_model(self):
+        x, y = make_classification(100, 4, 2)
+        tree = CartTree(max_depth=3).fit(x, y)
+        assert tree.splits_evaluated > 0

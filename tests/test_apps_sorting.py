@@ -1,0 +1,93 @@
+"""Unit + property tests for distributed sample sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import (
+    choose_splitters,
+    partition_data,
+    plan_exchange,
+    sample_sort,
+)
+
+
+class TestPartition:
+    def test_covers_input(self):
+        data = np.arange(103)
+        shards = partition_data(data, 4)
+        assert len(shards) == 4
+        np.testing.assert_array_equal(np.concatenate(shards), data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_data(np.arange(10), 0)
+        with pytest.raises(ValueError):
+            partition_data(np.zeros((2, 2)), 2)
+
+
+class TestSplitters:
+    def test_count_and_order(self):
+        rng = np.random.default_rng(0)
+        shards = partition_data(rng.normal(size=1000), 8)
+        splitters = choose_splitters(shards, oversample=16, seed=1)
+        assert len(splitters) == 7
+        assert np.all(np.diff(splitters) >= 0)
+
+    def test_single_partition_no_splitters(self):
+        shards = partition_data(np.arange(10.0), 1)
+        assert choose_splitters(shards).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_splitters([np.arange(4.0)], oversample=0)
+
+
+class TestExchangePlan:
+    def test_counts_conserve_elements(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=512)
+        shards = partition_data(data, 4)
+        splitters = choose_splitters(shards, seed=3)
+        plan = plan_exchange(shards, splitters)
+        assert plan.counts.sum() == 512
+        assert plan.partitions == 4
+
+    def test_exchange_bytes_exclude_diagonal(self):
+        data = np.arange(100.0)  # already sorted: block split ~= buckets
+        shards = partition_data(data, 4)
+        splitters = np.array([24.5, 49.5, 74.5])
+        plan = plan_exchange(shards, splitters)
+        assert plan.total_exchange_bytes() == 0  # everything stays local
+
+    def test_imbalance_near_one_for_uniform(self):
+        rng = np.random.default_rng(4)
+        shards = partition_data(rng.uniform(size=20_000), 8)
+        plan = plan_exchange(shards, choose_splitters(shards, 64, seed=5))
+        assert plan.imbalance() < 1.5
+
+
+class TestSampleSort:
+    def test_exactly_sorted(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=2000)
+        result, plan = sample_sort(data, partitions=8, seed=7)
+        np.testing.assert_array_equal(result, np.sort(data))
+
+    def test_with_duplicates(self):
+        data = np.array([3, 1, 3, 2, 2, 2, 1, 3] * 50, dtype=np.int64)
+        result, _ = sample_sort(data, partitions=4)
+        np.testing.assert_array_equal(result, np.sort(data))
+
+    @given(
+        n=st.integers(1, 500),
+        p=st.integers(1, 8),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sorts_any_input(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-1000, 1000, size=n).astype(np.float64)
+        result, plan = sample_sort(data, partitions=p, seed=seed)
+        np.testing.assert_array_equal(result, np.sort(data))
+        assert plan.counts.sum() == n

@@ -1,0 +1,92 @@
+"""Unit tests for the stencil workload and decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    StencilDecomposition,
+    decompose_grid,
+    halo_pairs,
+    jacobi_reference,
+    jacobi_step,
+)
+
+
+class TestJacobi:
+    def test_step_preserves_boundary(self):
+        g = jacobi_reference(8, 0)
+        out = jacobi_step(g)
+        np.testing.assert_array_equal(out[0, :], g[0, :])
+        np.testing.assert_array_equal(out[-1, :], g[-1, :])
+
+    def test_heat_diffuses_inward(self):
+        g = jacobi_reference(16, 50)
+        assert g[1, 8] > 0  # interior warmed by the hot edge
+        assert g[1, 8] < 100.0
+
+    def test_converges_toward_laplace(self):
+        few = jacobi_reference(12, 5)
+        many = jacobi_reference(12, 500)
+        more = jacobi_step(many)
+        # residual shrinks with iterations
+        assert np.abs(more - many).max() < np.abs(jacobi_step(few) - few).max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jacobi_step(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            jacobi_step(np.zeros(5))
+        with pytest.raises(ValueError):
+            jacobi_reference(2, 1)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(jacobi_reference(10, 10), jacobi_reference(10, 10))
+
+
+class TestDecomposition:
+    def test_decompose_squarest(self):
+        d = decompose_grid(64, 12)
+        assert (d.py, d.px) == (3, 4)
+        assert d.num_subdomains == 12
+
+    def test_decompose_prime(self):
+        d = decompose_grid(64, 7)
+        assert (d.py, d.px) == (1, 7)
+
+    def test_shapes_cover_grid(self):
+        d = decompose_grid(65, 4)  # uneven split
+        total = 0
+        for i in range(d.num_subdomains):
+            r, c = d.subdomain_shape(i)
+            total += r * c
+        assert total == 65 * 65
+
+    def test_coords_roundtrip(self):
+        d = decompose_grid(64, 6)
+        for i in range(6):
+            iy, ix = d.coords(i)
+            assert d.index(iy, ix) == i
+
+    def test_halo_bytes_axis_dependent(self):
+        d = StencilDecomposition(n=64, py=2, px=2, elem_bytes=8)
+        assert d.halo_bytes(0, 1) == 32 * 8  # vertical edge, 32 rows
+        assert d.halo_bytes(0, 2) == 32 * 8  # horizontal edge, 32 cols
+
+    def test_halo_bytes_nonneighbours_rejected(self):
+        d = StencilDecomposition(n=64, py=2, px=2)
+        with pytest.raises(ValueError):
+            d.halo_bytes(0, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StencilDecomposition(n=2, py=4, px=1)
+        with pytest.raises(ValueError):
+            decompose_grid(64, 0)
+
+    def test_halo_pairs_count(self):
+        d = StencilDecomposition(n=64, py=3, px=4)
+        pairs = halo_pairs(d)
+        # grid graph edges: py*(px-1) + (py-1)*px
+        assert len(pairs) == 3 * 3 + 2 * 4
+        # undirected, unique
+        assert len({(a, b) for a, b, _ in pairs}) == len(pairs)

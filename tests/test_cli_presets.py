@@ -1,0 +1,100 @@
+"""Unit tests for presets and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.presets import (
+    board_node,
+    chassis_node,
+    compiled_suite,
+    exascale_machine,
+    hpc_worker,
+    petascale_machine,
+    standard_kernel_suite,
+    zynq_worker,
+)
+from repro.presets import testbench_machine as _testbench_machine
+
+
+class TestPresets:
+    def test_worker_presets_differ(self):
+        z, h = zynq_worker(), hpc_worker()
+        assert h.cpu_cores > z.cpu_cores
+        assert h.dram.bandwidth_gbps > z.dram.bandwidth_gbps
+        assert h.fabric_regions > z.fabric_regions
+
+    def test_node_presets(self):
+        b = board_node()
+        c = chassis_node()
+        assert c.num_workers > b.num_workers
+        assert c.intra_fanout is not None
+
+    def test_machine_presets_scale(self):
+        from repro.core import Machine
+        from repro.sim import Simulator
+
+        small = Machine(Simulator(), _testbench_machine())
+        peta = Machine(Simulator(), petascale_machine())
+        assert peta.total_workers > small.total_workers
+        # exascale preset is structurally valid (don't build all 64 nodes)
+        exa = exascale_machine()
+        assert exa.num_nodes == 64
+        product = 1
+        for f in exa.inter_node_fanouts:
+            product *= f
+        assert product == 64
+
+    def test_kernel_suite_complete(self):
+        names = {k.name for k in standard_kernel_suite()}
+        assert names == {
+            "vecadd", "saxpy", "stencil5", "matmul", "fir32",
+            "montecarlo", "cart_split",
+        }
+
+    def test_compiled_suite(self):
+        registry, library = compiled_suite(max_variants=1)
+        for kernel in standard_kernel_suite():
+            assert kernel.name in registry
+            assert kernel.name in library
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for cmd in ("info", "machine", "power", "demo"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.core" in out
+
+    def test_machine(self, capsys):
+        assert main(["machine", "--nodes", "2", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "max worker-to-worker hop distance" in out
+
+    def test_power(self, capsys):
+        assert main(["power"]) == 0
+        out = capsys.readouterr().out
+        assert "Tianhe-2" in out and "MW" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--workers", "2", "--layers", "2", "--width", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "NOPE"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown experiment" in out
+        assert "CLAIM-COMPRESS" in out
+
+    def test_experiment_runs_bench(self):
+        # the cheapest experiment end to end through the CLI wrapper
+        assert main(["experiment", "claim-gw"]) == 0

@@ -1,0 +1,191 @@
+"""Unit tests for UNIMEM synchronization primitives."""
+
+import pytest
+
+from repro.core import ComputeNode, ComputeNodeParams
+from repro.core.sync import AtomicCell, UnimemBarrier, UnimemLock
+from repro.sim import AllOf, Simulator, Timeout, spawn
+
+
+def make_node(workers=4, intra_fanout=None):
+    sim = Simulator()
+    node = ComputeNode(
+        sim, ComputeNodeParams(num_workers=workers, intra_fanout=intra_fanout)
+    )
+    return sim, node
+
+
+def run(sim, gen):
+    out = {}
+
+    def proc():
+        out["v"] = yield from gen
+
+    spawn(sim, proc())
+    sim.run()
+    return out.get("v")
+
+
+class TestAtomicCell:
+    def test_fetch_add_returns_previous(self):
+        sim, node = make_node()
+        cell = AtomicCell(node, home_worker=0, initial=10)
+        assert run(sim, cell.fetch_add(1, 5)) == 10
+        assert cell.value == 15
+        assert run(sim, cell.load(2)) == 15
+
+    def test_cas_success_and_failure(self):
+        sim, node = make_node()
+        cell = AtomicCell(node, 0, initial=7)
+        ok, seen = run(sim, cell.compare_and_swap(1, 7, 9))
+        assert ok and seen == 7 and cell.value == 9
+        ok, seen = run(sim, cell.compare_and_swap(1, 7, 11))
+        assert not ok and seen == 9 and cell.value == 9
+
+    def test_remote_op_costs_more_than_local(self):
+        sim, node = make_node()
+        cell = AtomicCell(node, home_worker=0)
+        t0 = sim.now
+        run(sim, cell.fetch_add(0, 1))  # local
+        local = sim.now - t0
+        t0 = sim.now
+        run(sim, cell.fetch_add(3, 1))  # remote
+        remote = sim.now - t0
+        assert remote > local
+
+    def test_cost_scales_with_hop_distance(self):
+        sim, node = make_node(workers=8, intra_fanout=4)
+        cell = AtomicCell(node, home_worker=0)
+        t0 = sim.now
+        run(sim, cell.fetch_add(1, 1))  # sibling (2 hops)
+        near = sim.now - t0
+        t0 = sim.now
+        run(sim, cell.fetch_add(7, 1))  # cross-root (4 hops)
+        far = sim.now - t0
+        assert far > near
+
+    def test_concurrent_increments_all_counted(self):
+        sim, node = make_node()
+        cell = AtomicCell(node, 0)
+
+        def incr(worker):
+            for _ in range(10):
+                yield from cell.fetch_add(worker, 1)
+
+        for w in range(4):
+            spawn(sim, incr(w))
+        sim.run()
+        assert cell.value == 40
+        assert cell.operations == 40
+
+    def test_invalid_home_rejected(self):
+        sim, node = make_node(2)
+        with pytest.raises(ValueError):
+            AtomicCell(node, home_worker=9)
+
+
+class TestUnimemLock:
+    def test_mutual_exclusion(self):
+        sim, node = make_node()
+        lock = UnimemLock(node, home_worker=0)
+        in_section = []
+        overlaps = []
+
+        def contender(worker):
+            yield from lock.acquire(worker)
+            if in_section:
+                overlaps.append(worker)
+            in_section.append(worker)
+            yield Timeout(500.0)
+            in_section.remove(worker)
+            yield from lock.release(worker)
+
+        for w in range(4):
+            spawn(sim, contender(w))
+        sim.run()
+        assert overlaps == []
+        assert lock.acquisitions == 4
+        assert not lock.held
+
+    def test_contention_produces_spins(self):
+        sim, node = make_node()
+        lock = UnimemLock(node, 0)
+
+        def contender(worker):
+            yield from lock.acquire(worker)
+            yield Timeout(1000.0)
+            yield from lock.release(worker)
+
+        for w in range(4):
+            spawn(sim, contender(w))
+        sim.run()
+        assert lock.spins > 0
+
+    def test_wrong_releaser_rejected(self):
+        sim, node = make_node()
+        lock = UnimemLock(node, 0)
+
+        def bad():
+            yield from lock.acquire(0)
+            yield from lock.release(1)
+
+        spawn(sim, bad())
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_backoff_validation(self):
+        sim, node = make_node()
+        with pytest.raises(ValueError):
+            UnimemLock(node, 0, backoff_ns=0)
+        with pytest.raises(ValueError):
+            UnimemLock(node, 0, backoff_ns=100, max_backoff_ns=10)
+
+
+class TestUnimemBarrier:
+    def test_nobody_passes_early(self):
+        sim, node = make_node()
+        barrier = UnimemBarrier(node, home_worker=0, parties=4)
+        passed = []
+
+        def party(worker, delay):
+            yield Timeout(delay)
+            generation = yield from barrier.arrive(worker)
+            passed.append((worker, sim.now, generation))
+
+        delays = [100.0, 2000.0, 300.0, 4000.0]
+        for w, d in enumerate(delays):
+            spawn(sim, party(w, d))
+        sim.run()
+        assert len(passed) == 4
+        release_times = [t for _, t, _ in passed]
+        # no one is released before the last arrival (t=4000)
+        assert min(release_times) >= 4000.0
+        assert all(g == 1 for _, _, g in passed)
+
+    def test_barrier_reusable_across_generations(self):
+        sim, node = make_node(2)
+        barrier = UnimemBarrier(node, 0, parties=2)
+        log = []
+
+        def party(worker):
+            for round_no in range(3):
+                g = yield from barrier.arrive(worker)
+                log.append((worker, round_no, g))
+
+        spawn(sim, party(0))
+        spawn(sim, party(1))
+        sim.run()
+        assert len(log) == 6
+        assert barrier.generation == 3
+        for worker, round_no, g in log:
+            assert g == round_no + 1
+
+    def test_single_party_barrier_trivial(self):
+        sim, node = make_node(1)
+        barrier = UnimemBarrier(node, 0, parties=1)
+        assert run(sim, barrier.arrive(0)) == 1
+
+    def test_validation(self):
+        sim, node = make_node()
+        with pytest.raises(ValueError):
+            UnimemBarrier(node, 0, parties=0)

@@ -1,0 +1,108 @@
+"""Unit tests for energy accounting and the exascale extrapolation."""
+
+import pytest
+
+from repro.energy import (
+    GREEN500_2015_LEADER,
+    TIANHE2,
+    EnergyLedger,
+    ReferenceSystem,
+    efficiency_required_for,
+    extrapolate_power_mw,
+)
+from repro.energy.exascale import EXAFLOP, speedup_needed
+
+
+class TestLedger:
+    def test_add_and_total(self):
+        led = EnergyLedger()
+        led.add("w0.cpu", 100.0)
+        led.add("w0.fabric", 50.0)
+        led.add("net.l1", 25.0)
+        assert led.total_pj() == 175.0
+        assert led.total_pj("w0") == 150.0
+        assert led.total_pj("w0.cpu") == 100.0
+        assert led.total_pj("w") == 0.0  # prefix is path-component based
+
+    def test_negative_rejected(self):
+        led = EnergyLedger()
+        with pytest.raises(ValueError):
+            led.add("x", -1.0)
+
+    def test_breakdown(self):
+        led = EnergyLedger()
+        led.add("w0.cpu", 1.0)
+        led.add("w0.fabric", 2.0)
+        led.add("net", 3.0)
+        b = led.breakdown(depth=1)
+        assert b == {"w0": 3.0, "net": 3.0}
+        with pytest.raises(ValueError):
+            led.breakdown(0)
+
+    def test_merge_and_reset(self):
+        a, b = EnergyLedger(), EnergyLedger()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.total_pj() == 6.0
+        a.reset()
+        assert a.total_pj() == 0.0
+
+    def test_joules_and_power(self):
+        led = EnergyLedger()
+        led.add("x", 1e12)  # 1 J
+        assert led.total_joules() == pytest.approx(1.0)
+        assert led.mean_power_mw(1e9) == pytest.approx(1000.0)  # 1J/1s = 1W
+        with pytest.raises(ValueError):
+            led.mean_power_mw(0)
+
+
+class TestExascale:
+    def test_tianhe2_lands_near_one_gigawatt(self):
+        """The paper's headline Section 1 number."""
+        power = extrapolate_power_mw(TIANHE2)
+        assert 700 <= power <= 1300  # ~1 GW
+
+    def test_green500_smaller_but_similar_order(self):
+        """'Similar, albeit smaller, figures ... even the best system of
+        the Green 500 list.'"""
+        tianhe = extrapolate_power_mw(TIANHE2)
+        green = extrapolate_power_mw(GREEN500_2015_LEADER)
+        assert green < tianhe
+        assert green > 100  # still an infeasible facility
+
+    def test_linear_extrapolation_without_overhead(self):
+        ref = ReferenceSystem("r", 1e15, 10.0)
+        power = extrapolate_power_mw(
+            ref, 1e18, scaling_overhead_exponent=1.0, include_cooling=False
+        )
+        assert power == pytest.approx(10_000.0)
+
+    def test_cooling_toggle(self):
+        with_c = extrapolate_power_mw(TIANHE2, include_cooling=True)
+        without = extrapolate_power_mw(TIANHE2, include_cooling=False)
+        assert with_c > without
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReferenceSystem("bad", 0, 1)
+        with pytest.raises(ValueError):
+            ReferenceSystem("bad", 1, 1, cooling_overhead=0.5)
+        with pytest.raises(ValueError):
+            extrapolate_power_mw(TIANHE2, target_flops=0)
+        with pytest.raises(ValueError):
+            extrapolate_power_mw(TIANHE2, scaling_overhead_exponent=0.9)
+
+    def test_efficiency_required(self):
+        assert efficiency_required_for(EXAFLOP, 20.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            efficiency_required_for(0)
+
+    def test_speedup_needed_order_of_magnitude(self):
+        # paper: "a 1000x increase in today's concurrency"
+        assert 10 <= speedup_needed(TIANHE2) <= 100
+        assert speedup_needed(GREEN500_2015_LEADER) > 1000
+
+    def test_gflops_per_watt(self):
+        assert TIANHE2.gflops_per_watt == pytest.approx(1.9, rel=0.05)

@@ -1,0 +1,65 @@
+"""Tests for energy-aware device selection through the trained models
+(the paper's 'execution time AND energy' model outputs, §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import DeviceSelector, ExecutionHistory
+
+
+def history_where_hw_slower_but_greener(n=30):
+    """HW: slightly slower, 10x less energy -- the interesting regime."""
+    hist = ExecutionHistory()
+    rng = np.random.default_rng(5)
+    for _ in range(n):
+        items = int(rng.integers(100, 10000))
+        hist.record(function="f", device="sw", worker=0, items=items,
+                    latency_ns=5.0 * items, energy_pj=100.0 * items,
+                    timestamp=0.0)
+        hist.record(function="f", device="hw", worker=0, items=items,
+                    latency_ns=6.0 * items, energy_pj=10.0 * items,
+                    timestamp=0.0)
+    return hist
+
+
+def test_latency_only_picks_sw():
+    sel = DeviceSelector(min_samples=5)
+    sel.train(history_where_hw_slower_but_greener())
+    assert sel.choose_device("f", 2000, energy_weight=0.0) == "sw"
+
+
+def test_energy_weight_flips_to_hw():
+    sel = DeviceSelector(min_samples=5)
+    sel.train(history_where_hw_slower_but_greener())
+    assert sel.choose_device("f", 2000, energy_weight=1.0) == "hw"
+
+
+def test_intermediate_weight_crosses_over():
+    sel = DeviceSelector(min_samples=5)
+    sel.train(history_where_hw_slower_but_greener())
+    choices = [
+        sel.choose_device("f", 2000, energy_weight=w)
+        for w in (0.0, 0.25, 0.5, 0.75, 1.0)
+    ]
+    assert choices[0] == "sw" and choices[-1] == "hw"
+    # monotone: once it flips to hw it stays hw
+    flipped = False
+    for c in choices:
+        if c == "hw":
+            flipped = True
+        elif flipped:
+            pytest.fail(f"non-monotone choices {choices}")
+
+
+def test_engine_accepts_energy_weight():
+    """Plumbing check: the engine passes the weight to its schedulers."""
+    from repro.core import ComputeNode, ComputeNodeParams, FunctionRegistry
+    from repro.core.runtime import ExecutionEngine
+    from repro.hls import saxpy_kernel
+    from repro.sim import Simulator
+
+    registry = FunctionRegistry()
+    registry.register(saxpy_kernel(1024))
+    node = ComputeNode(Simulator(), ComputeNodeParams(num_workers=2))
+    engine = ExecutionEngine(node, registry, energy_weight=0.7, use_daemon=False)
+    assert all(s.energy_weight == 0.7 for s in engine.schedulers)

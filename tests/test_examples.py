@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs clean and prints its verdict."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+EXPECTED_FRAGMENT = {
+    "quickstart.py": "module already resident",
+    "hierarchical_stencil.py": "less communication energy",
+    "shared_accelerators.py": "one physical accelerator served all four Workers",
+    "adaptive_runtime.py": "adaptive runtime used hardware",
+    "exascale_machine.py": "hence ECOSCALE",
+    "cart_dataflow.py": "more processing per unit of transferred data",
+    "hybrid_sort.py": "the hybrid split the paper advocates",
+    "opencl_c_kernels.py": "no hardware design in the loop",
+}
+
+
+def test_example_inventory():
+    assert len(EXAMPLES) >= 3
+    assert {p.name for p in EXAMPLES} == set(EXPECTED_FRAGMENT)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_FRAGMENT[script.name] in result.stdout

@@ -1,0 +1,115 @@
+"""Unit tests for the GoAhead-style floorplanner."""
+
+import pytest
+
+from repro.fabric import Floorplanner, Placement, ResourceVector, TileGrid
+from repro.fabric.floorplan import FRAMES_PER_COLUMN
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        TileGrid(("clb",), rows=0)
+    with pytest.raises(ValueError):
+        TileGrid((), rows=5)
+    with pytest.raises(ValueError):
+        TileGrid(("weird",), rows=5)
+
+
+def test_standard_grid_has_all_column_types():
+    grid = TileGrid.standard(60, 50)
+    assert set(grid.columns) == {"clb", "bram", "dsp"}
+    total = grid.total_resources
+    assert total.luts > 0 and total.brams > 0 and total.dsps > 0
+
+
+def test_span_resources_additive():
+    grid = TileGrid.standard(10, 10)
+    full = grid.span_resources(0, 10)
+    left = grid.span_resources(0, 5)
+    right = grid.span_resources(5, 5)
+    assert left + right == full
+
+
+def test_smallest_span_minimizes_width():
+    grid = TileGrid.standard(30, 50)
+    fp = Floorplanner(grid)
+    tiny = ResourceVector(luts=8)
+    p = fp.smallest_span(tiny)
+    assert p is not None
+    assert p.width == 1
+
+
+def test_smallest_span_grows_for_bram_demand():
+    grid = TileGrid.standard(30, 10)
+    fp = Floorplanner(grid)
+    # needs a BRAM column: a 1-wide CLB span can't serve it
+    p = fp.smallest_span(ResourceVector(luts=8, brams=2))
+    assert p is not None
+    types = {grid.columns[i] for i in range(p.start_column, p.start_column + p.width)}
+    assert "bram" in types
+
+
+def test_smallest_span_respects_forbidden():
+    grid = TileGrid.standard(10, 10)
+    fp = Floorplanner(grid)
+    first = fp.smallest_span(ResourceVector(luts=8))
+    second = fp.smallest_span(ResourceVector(luts=8), forbidden=[first])
+    assert second is not None
+    assert not first.overlaps(second)
+
+
+def test_smallest_span_none_when_too_big():
+    grid = TileGrid.standard(5, 5)
+    fp = Floorplanner(grid)
+    assert fp.smallest_span(ResourceVector(luts=10**9)) is None
+
+
+def test_placement_frames():
+    p = Placement(0, 3, ResourceVector())
+    assert p.frames == 3 * FRAMES_PER_COLUMN
+
+
+def test_placement_overlap():
+    a = Placement(0, 3, ResourceVector())
+    b = Placement(2, 2, ResourceVector())
+    c = Placement(3, 2, ResourceVector())
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+def test_budget_regions_partition_grid():
+    grid = TileGrid.standard(20, 10)
+    fp = Floorplanner(grid)
+    regions = fp.budget_regions(3)
+    assert len(regions) == 3
+    assert sum(r.width for r in regions) == 20
+    for i in range(len(regions) - 1):
+        assert regions[i].start_column + regions[i].width == regions[i + 1].start_column
+
+
+def test_budget_regions_validation():
+    fp = Floorplanner(TileGrid.standard(4, 4))
+    with pytest.raises(ValueError):
+        fp.budget_regions(0)
+    with pytest.raises(ValueError):
+        fp.budget_regions(10)
+
+
+def test_fill_fraction():
+    grid = TileGrid.standard(10, 10)
+    fp = Floorplanner(grid)
+    p = fp.budget_regions(1)[0]
+    half = ResourceVector(luts=p.resources.luts // 2)
+    assert 0.4 < fp.fill_fraction(half, p) <= 0.5
+    assert fp.fill_fraction(p.resources, p) == 1.0
+
+
+def test_minimized_boxes_mean_fewer_frames():
+    """The floorplanner's raison d'etre: tighter boxes -> fewer frames ->
+    smaller bitstreams (Section 4.3)."""
+    grid = TileGrid.standard(40, 50)
+    fp = Floorplanner(grid)
+    demand = ResourceVector(luts=100, ffs=200)
+    minimal = fp.smallest_span(demand)
+    whole = Placement(0, 40, grid.total_resources)
+    assert minimal.frames < whole.frames

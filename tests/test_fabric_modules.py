@@ -1,0 +1,241 @@
+"""Unit tests for accelerator modules, the library, regions and the
+reconfiguration controller."""
+
+import pytest
+
+from repro.fabric import (
+    AcceleratorModule,
+    Bitstream,
+    ConfigPort,
+    Fabric,
+    Floorplanner,
+    ModuleLibrary,
+    ReconfigurationController,
+    RegionState,
+    ResourceVector,
+    TileGrid,
+)
+from repro.sim import Simulator, spawn
+
+
+def make_module(name="m0", function="f", frames=4, fill=0.5, ii=1, lanes=1, luts=100):
+    return AcceleratorModule(
+        name=name,
+        function=function,
+        resources=ResourceVector(luts=luts, ffs=2 * luts),
+        bitstream=Bitstream.synthesize(name, frames, fill),
+        initiation_interval=ii,
+        parallel_lanes=lanes,
+    )
+
+
+def make_fabric(sim, regions=2, cols=40, rows=50):
+    fp = Floorplanner(TileGrid.standard(cols, rows))
+    return Fabric(sim, fp.budget_regions(regions))
+
+
+class TestAcceleratorModule:
+    def test_latency_model(self):
+        m = make_module(ii=2)
+        # depth 8 + (n-1)*2 cycles at 5ns + 50ns setup
+        assert m.latency_ns(1) == pytest.approx(50 + 8 * 5)
+        assert m.latency_ns(101) == pytest.approx(50 + (8 + 200) * 5)
+
+    def test_lanes_divide_issue_time(self):
+        slow = make_module(lanes=1)
+        fast = make_module(lanes=4)
+        assert fast.latency_ns(1000) < slow.latency_ns(1000)
+
+    def test_throughput(self):
+        m = make_module(ii=1)
+        assert m.throughput_items_per_us() == pytest.approx(200.0)  # 1/5ns
+
+    def test_energy_has_static_and_dynamic(self):
+        m = make_module()
+        e = m.energy_pj(100)
+        assert e > 100 * m.energy_per_item_pj  # static adds on top
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_module(ii=0)
+        m = make_module()
+        with pytest.raises(ValueError):
+            m.latency_ns(0)
+
+
+class TestModuleLibrary:
+    def test_add_and_lookup(self):
+        lib = ModuleLibrary()
+        lib.add(make_module("a", "fft"))
+        lib.add(make_module("b", "fft", lanes=4))
+        assert "fft" in lib
+        assert len(lib) == 2
+        assert lib.functions() == ["fft"]
+
+    def test_duplicate_name_rejected(self):
+        lib = ModuleLibrary()
+        lib.add(make_module("a", "fft"))
+        with pytest.raises(ValueError):
+            lib.add(make_module("a", "fft"))
+
+    def test_best_variant_prefers_fastest_fitting(self):
+        lib = ModuleLibrary()
+        small = make_module("small", "fft", lanes=1, luts=10)
+        big = make_module("big", "fft", lanes=8, luts=10000)
+        lib.add(small)
+        lib.add(big)
+        assert lib.best_variant("fft") is big
+        tight = ResourceVector(luts=100, ffs=200)
+        assert lib.best_variant("fft", capacity=tight) is small
+
+    def test_best_variant_missing(self):
+        lib = ModuleLibrary()
+        assert lib.best_variant("nope") is None
+
+    def test_smallest_variant(self):
+        lib = ModuleLibrary()
+        lib.add(make_module("small", "fft", luts=10))
+        lib.add(make_module("big", "fft", luts=1000))
+        assert lib.smallest_variant("fft").name == "small"
+        assert lib.smallest_variant("missing") is None
+
+
+class TestFabricRegions:
+    def test_region_bookkeeping(self):
+        sim = Simulator()
+        fab = make_fabric(sim, regions=3)
+        assert len(fab) == 3
+        assert fab.occupancy() == 0.0
+        assert fab.loaded_functions() == []
+        assert fab.region_with_function("f") is None
+
+    def test_victim_prefers_empty(self):
+        sim = Simulator()
+        fab = make_fabric(sim, regions=2)
+        m = make_module()
+        v = fab.victim_region(m)
+        assert v.state is RegionState.EMPTY
+
+    def test_victim_lru_eviction(self):
+        sim = Simulator()
+        fab = make_fabric(sim, regions=2)
+        for i, r in enumerate(fab.regions):
+            r.state = RegionState.READY
+            r.module = make_module(f"m{i}", f"f{i}")
+            r.last_used_at = float(i)
+        v = fab.victim_region(make_module("new", "g"))
+        assert v.region_id == 0  # least recently used
+
+    def test_victim_none_when_nothing_fits(self):
+        sim = Simulator()
+        fab = make_fabric(sim, regions=2, cols=4, rows=2)
+        huge = make_module(luts=10**8)
+        assert fab.victim_region(huge) is None
+
+    def test_empty_fabric_rejected(self):
+        with pytest.raises(ValueError):
+            Fabric(Simulator(), [])
+
+
+class TestReconfiguration:
+    def run_load(self, use_compression, fill=0.1):
+        sim = Simulator()
+        fab = make_fabric(sim, regions=2)
+        ctl = ReconfigurationController(sim, fab, use_compression=use_compression)
+        m = make_module(frames=40, fill=fill)
+        out = {}
+
+        def proc():
+            region = yield from ctl.load(m)
+            out["region"] = region
+            out["t"] = sim.now
+
+        spawn(sim, proc())
+        sim.run()
+        return ctl, out
+
+    def test_load_marks_region_ready(self):
+        ctl, out = self.run_load(use_compression=False)
+        assert out["region"].state is RegionState.READY
+        assert out["region"].function == "f"
+        assert ctl.reconfigurations == 1
+        assert ctl.config_bytes > 0
+
+    def test_compression_reduces_latency_and_bytes(self):
+        plain, out_plain = self.run_load(use_compression=False, fill=0.1)
+        comp, out_comp = self.run_load(use_compression=True, fill=0.1)
+        assert out_comp["t"] < out_plain["t"]
+        assert comp.config_bytes < plain.config_bytes
+        assert comp.config_energy_pj < plain.config_energy_pj
+
+    def test_eviction_counted(self):
+        sim = Simulator()
+        fab = make_fabric(sim, regions=1)
+        ctl = ReconfigurationController(sim, fab)
+
+        def proc():
+            yield from ctl.load(make_module("a", "f1"))
+            yield from ctl.load(make_module("b", "f2"))
+
+        spawn(sim, proc())
+        sim.run()
+        assert ctl.evictions == 1
+        assert fab.loaded_functions() == ["f2"]
+
+    def test_load_none_when_no_fit(self):
+        sim = Simulator()
+        fab = make_fabric(sim, regions=1, cols=4, rows=2)
+        ctl = ReconfigurationController(sim, fab)
+        result = {}
+
+        def proc():
+            r = yield from ctl.load(make_module(luts=10**8))
+            result["r"] = r
+
+        spawn(sim, proc())
+        sim.run()
+        assert result["r"] is None
+
+    def test_load_wrong_region_rejected(self):
+        sim = Simulator()
+        fab = make_fabric(sim, regions=2, cols=4, rows=2)
+        ctl = ReconfigurationController(sim, fab)
+
+        def proc():
+            yield from ctl.load(make_module(luts=10**8), region=fab.regions[0])
+
+        spawn(sim, proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_config_port_validation(self):
+        with pytest.raises(ValueError):
+            ConfigPort(bandwidth_gbps=0)
+
+    def test_load_cost_analytic_matches_simulated(self):
+        sim = Simulator()
+        fab = make_fabric(sim, regions=1)
+        ctl = ReconfigurationController(sim, fab, use_compression=True)
+        m = make_module(frames=40, fill=0.2)
+        planned = ctl.load_cost_ns(m)
+
+        def proc():
+            yield from ctl.load(m)
+
+        spawn(sim, proc())
+        sim.run()
+        assert sim.now == pytest.approx(planned)
+
+    def test_unload(self):
+        sim = Simulator()
+        fab = make_fabric(sim, regions=1)
+        ctl = ReconfigurationController(sim, fab)
+
+        def proc():
+            yield from ctl.load(make_module())
+
+        spawn(sim, proc())
+        sim.run()
+        ctl.unload(fab.regions[0])
+        assert fab.regions[0].state is RegionState.EMPTY
+        assert fab.occupancy() == 0.0

@@ -1,0 +1,89 @@
+"""Unit + property tests for ResourceVector."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fabric import ResourceVector
+
+vec = st.builds(
+    ResourceVector,
+    luts=st.integers(0, 1000),
+    ffs=st.integers(0, 1000),
+    brams=st.integers(0, 50),
+    dsps=st.integers(0, 50),
+)
+
+
+def test_add():
+    a = ResourceVector(1, 2, 3, 4)
+    b = ResourceVector(10, 20, 30, 40)
+    assert a + b == ResourceVector(11, 22, 33, 44)
+
+
+def test_scale():
+    assert ResourceVector(1, 2, 3, 4) * 3 == ResourceVector(3, 6, 9, 12)
+    assert 2 * ResourceVector(1, 0, 0, 0) == ResourceVector(2, 0, 0, 0)
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        ResourceVector(luts=-1)
+    with pytest.raises(ValueError):
+        ResourceVector(1, 1, 1, 1) * -2
+
+
+def test_fits_in():
+    small = ResourceVector(10, 10, 1, 1)
+    big = ResourceVector(100, 100, 10, 10)
+    assert small.fits_in(big)
+    assert not big.fits_in(small)
+    assert small.fits_in(small)
+
+
+def test_fits_in_binding_dimension():
+    # plenty of LUTs but not enough BRAM
+    need = ResourceVector(luts=1, brams=5)
+    have = ResourceVector(luts=1000, brams=4)
+    assert not need.fits_in(have)
+
+
+def test_utilization_of():
+    need = ResourceVector(luts=50, brams=2)
+    have = ResourceVector(luts=100, brams=4, ffs=999, dsps=9)
+    assert need.utilization_of(have) == pytest.approx(0.5)
+
+
+def test_utilization_of_missing_resource_is_inf():
+    need = ResourceVector(dsps=1)
+    have = ResourceVector(luts=100)
+    assert need.utilization_of(have) == float("inf")
+
+
+def test_utilization_of_zero_demand():
+    assert ResourceVector().utilization_of(ResourceVector(luts=10)) == 0.0
+    assert ResourceVector().is_zero
+
+
+def test_area_units_positive_and_monotone():
+    a = ResourceVector(100, 100, 0, 0).area_units()
+    b = ResourceVector(100, 100, 2, 0).area_units()
+    assert 0 < a < b
+
+
+@given(a=vec, b=vec)
+def test_add_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(a=vec, b=vec)
+def test_fits_in_sum(a, b):
+    assert a.fits_in(a + b)
+    assert b.fits_in(a + b)
+
+
+@given(a=vec, k=st.integers(0, 10))
+def test_scale_matches_repeated_add(a, k):
+    total = ResourceVector()
+    for _ in range(k):
+        total = total + a
+    assert total == a * k

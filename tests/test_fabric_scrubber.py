@@ -1,0 +1,132 @@
+"""Unit tests for configuration-memory scrubbing."""
+
+import pytest
+
+from repro.core import Worker, WorkerParams
+from repro.fabric import ModuleLibrary
+from repro.fabric.scrubber import ConfigScrubber
+from repro.hls import HlsTool, SynthesisConstraints, saxpy_kernel
+from repro.sim import Simulator, spawn
+
+
+@pytest.fixture(scope="module")
+def module():
+    lib = ModuleLibrary()
+    HlsTool().compile(saxpy_kernel(1024), lib, SynthesisConstraints(max_variants=1))
+    return lib.best_variant("saxpy")
+
+
+def loaded_worker(module):
+    sim = Simulator()
+    worker = Worker(sim, 0, WorkerParams(fabric_regions=2))
+    out = {}
+
+    def proc():
+        out["region"] = yield from worker.load_module(module)
+
+    spawn(sim, proc())
+    sim.run()
+    return sim, worker, out["region"]
+
+
+def run(sim, gen):
+    out = {}
+
+    def proc():
+        out["v"] = yield from gen
+
+    spawn(sim, proc())
+    sim.run()
+    return out.get("v")
+
+
+class TestInjection:
+    def test_upset_recorded(self, module):
+        sim, worker, region = loaded_worker(module)
+        scrub = ConfigScrubber(sim, worker.fabric)
+        rec = scrub.inject_upset(region.region_id, frame=0, bit=5)
+        assert rec.detected_at is None
+        assert len(scrub.upsets) == 1
+
+    def test_empty_region_rejected(self, module):
+        sim, worker, region = loaded_worker(module)
+        scrub = ConfigScrubber(sim, worker.fabric)
+        empty = next(
+            r for r in worker.fabric.regions if r.region_id != region.region_id
+        )
+        with pytest.raises(ValueError):
+            scrub.inject_upset(empty.region_id, 0)
+
+    def test_out_of_range_frame_rejected(self, module):
+        sim, worker, region = loaded_worker(module)
+        scrub = ConfigScrubber(sim, worker.fabric)
+        with pytest.raises(ValueError):
+            scrub.inject_upset(region.region_id, frame=10_000)
+
+    def test_bandwidth_validation(self, module):
+        sim, worker, _ = loaded_worker(module)
+        with pytest.raises(ValueError):
+            ConfigScrubber(sim, worker.fabric, readback_bandwidth_gbps=0)
+
+
+class TestScrubbing:
+    def test_clean_pass_finds_nothing(self, module):
+        sim, worker, _ = loaded_worker(module)
+        scrub = ConfigScrubber(sim, worker.fabric)
+        found = run(sim, scrub.scrub_pass())
+        assert found == 0
+        assert scrub.frames_scrubbed == module.bitstream.frames
+
+    def test_upset_detected_and_repaired(self, module):
+        sim, worker, region = loaded_worker(module)
+        faults = []
+        scrub = ConfigScrubber(
+            sim, worker.fabric, on_fault=lambda r, f: faults.append((r.region_id, f))
+        )
+        rec = scrub.inject_upset(region.region_id, frame=2, bit=17)
+        found = run(sim, scrub.scrub_pass())
+        assert found == 1
+        assert rec.detected_at is not None
+        assert rec.detection_ns > 0
+        assert faults == [(region.region_id, 2)]
+        # repaired: a second pass is clean
+        assert run(sim, scrub.scrub_pass()) == 0
+
+    def test_double_upset_same_frame_detected_once(self, module):
+        sim, worker, region = loaded_worker(module)
+        scrub = ConfigScrubber(sim, worker.fabric)
+        scrub.inject_upset(region.region_id, frame=1, bit=0)
+        scrub.inject_upset(region.region_id, frame=1, bit=9)
+        found = run(sim, scrub.scrub_pass())
+        assert found == 1  # one corrupt frame
+        assert all(u.detected_at is not None for u in scrub.upsets)
+
+    def test_detection_latency_depends_on_frame_position(self, module):
+        """An upset in a later frame waits longer for the scrub cursor."""
+        sim1, w1, r1 = loaded_worker(module)
+        s1 = ConfigScrubber(sim1, w1.fabric)
+        early = s1.inject_upset(r1.region_id, frame=0)
+        run(sim1, s1.scrub_pass())
+
+        sim2, w2, r2 = loaded_worker(module)
+        s2 = ConfigScrubber(sim2, w2.fabric)
+        late = s2.inject_upset(r2.region_id, frame=module.bitstream.frames - 1)
+        run(sim2, s2.scrub_pass())
+        assert late.detection_ns > early.detection_ns
+
+    def test_continuous_run_loop(self, module):
+        sim, worker, region = loaded_worker(module)
+        scrub = ConfigScrubber(sim, worker.fabric)
+        scrub.inject_upset(region.region_id, frame=0)
+        spawn(sim, scrub.run(interval_ns=1000.0))
+        sim.run(until=sim.now + 200_000.0)
+        scrub.stop()
+        assert scrub.faults_detected == 1
+        assert scrub.mean_detection_ns() > 0
+
+    def test_run_interval_validation(self, module):
+        sim, worker, _ = loaded_worker(module)
+        scrub = ConfigScrubber(sim, worker.fabric)
+        spawn(sim, scrub.run(interval_ns=0))
+        with pytest.raises(ValueError):
+            sim.run()

@@ -1,0 +1,101 @@
+"""Unit tests for the Virtualization block (fine-grain sharing)."""
+
+import pytest
+
+from repro.fabric import AcceleratorModule, Bitstream, ResourceVector, VirtualizedAccelerator
+from repro.sim import Simulator, spawn
+
+
+def make_module(ii=1, depth=8, lanes=1):
+    return AcceleratorModule(
+        name="m",
+        function="f",
+        resources=ResourceVector(luts=100),
+        bitstream=Bitstream.synthesize("m", 2, 0.5),
+        initiation_interval=ii,
+        pipeline_depth=depth,
+        parallel_lanes=lanes,
+    )
+
+
+def run_calls(accel, sim, callers, items):
+    results = []
+
+    def proc(tag):
+        inv = yield from accel.call(tag, items)
+        results.append(inv)
+
+    for c in callers:
+        spawn(sim, proc(c))
+    sim.run()
+    return results
+
+
+def test_single_call_latency_matches_module_model():
+    sim = Simulator()
+    m = make_module()
+    accel = VirtualizedAccelerator(sim, m, pipelined=True)
+    res = run_calls(accel, sim, ["a"], items=100)
+    assert res[0].latency_ns == pytest.approx(m.latency_ns(100))
+
+
+def test_pipelined_mode_overlaps_calls():
+    sim = Simulator()
+    m = make_module(depth=100)  # deep pipeline: drain is expensive
+    pipelined = VirtualizedAccelerator(sim, m, pipelined=True)
+    run_calls(pipelined, sim, [f"c{i}" for i in range(4)], items=50)
+    t_pipelined = sim.now
+
+    sim2 = Simulator()
+    exclusive = VirtualizedAccelerator(sim2, make_module(depth=100), pipelined=False)
+    run_calls(exclusive, sim2, [f"c{i}" for i in range(4)], items=50)
+    t_exclusive = sim2.now
+
+    assert t_pipelined < t_exclusive
+
+
+def test_pipelined_throughput_beats_exclusive():
+    sim = Simulator()
+    m = make_module(depth=64)
+    a = VirtualizedAccelerator(sim, m, pipelined=True)
+    run_calls(a, sim, [f"c{i}" for i in range(8)], items=32)
+    sim2 = Simulator()
+    b = VirtualizedAccelerator(sim2, make_module(depth=64), pipelined=False)
+    run_calls(b, sim2, [f"c{i}" for i in range(8)], items=32)
+    assert a.throughput_items_per_us() > b.throughput_items_per_us()
+
+
+def test_items_and_energy_accounted():
+    sim = Simulator()
+    accel = VirtualizedAccelerator(sim, make_module())
+    run_calls(accel, sim, ["a", "b"], items=10)
+    assert accel.items_processed == 20
+    assert accel.energy_pj > 0
+    assert len(accel.completed) == 2
+
+
+def test_invalid_items_rejected():
+    sim = Simulator()
+    accel = VirtualizedAccelerator(sim, make_module())
+
+    def proc():
+        yield from accel.call("x", 0)
+
+    spawn(sim, proc())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_mean_latency_empty_is_zero():
+    sim = Simulator()
+    accel = VirtualizedAccelerator(sim, make_module())
+    assert accel.mean_latency_ns() == 0.0
+    assert accel.throughput_items_per_us() == 0.0
+
+
+def test_invocation_records_caller():
+    sim = Simulator()
+    accel = VirtualizedAccelerator(sim, make_module())
+    res = run_calls(accel, sim, ["vm1"], items=5)
+    assert res[0].caller == "vm1"
+    assert res[0].inv_id >= 0

@@ -1,0 +1,105 @@
+"""Tests for automated DRAM-port-parallelism exploration (§4.3)."""
+
+import pytest
+
+from repro.hls import DesignSpaceExplorer, HlsConfig, HlsEstimator, OpKind
+from repro.hls.estimator import ON_CHIP_BYTES_LIMIT
+from repro.hls.ir import ArrayArg, Kernel
+from repro.hls.transforms import default_config_grid
+
+
+def streaming_kernel(n=1 << 20):
+    """A memory-bound kernel whose arrays dwarf on-chip storage."""
+    return Kernel(
+        name="bigcopy",
+        trip_counts=(n,),
+        ops={OpKind.ADD: 1},
+        arrays=(
+            ArrayArg("src", 8, reads_per_iter=1, footprint_elems=n),
+            ArrayArg("dst", 8, writes_per_iter=1, footprint_elems=n),
+        ),
+    )
+
+
+def onchip_kernel(n=1024):
+    return Kernel(
+        name="smallcopy",
+        trip_counts=(n,),
+        ops={OpKind.ADD: 1},
+        arrays=(
+            ArrayArg("src", 4, reads_per_iter=1, footprint_elems=n),
+            ArrayArg("dst", 4, writes_per_iter=1, footprint_elems=n),
+        ),
+    )
+
+
+class TestStreamingModel:
+    def test_streamed_kernel_bound_by_dram_bandwidth(self):
+        est = HlsEstimator()
+        k = streaming_kernel()
+        one = est.estimate(k, HlsConfig(dram_ports=1))
+        # 16 streamed bytes/iter over one 8B/cycle port -> II 2
+        assert one.initiation_interval == 2
+
+    def test_more_ports_relieve_the_bound(self):
+        est = HlsEstimator()
+        k = streaming_kernel()
+        one = est.estimate(k, HlsConfig(dram_ports=1))
+        two = est.estimate(k, HlsConfig(dram_ports=2))
+        assert two.initiation_interval < one.initiation_interval
+        assert two.initiation_interval == 1
+
+    def test_ports_cost_area(self):
+        est = HlsEstimator()
+        k = streaming_kernel()
+        r1 = est.estimate(k, HlsConfig(dram_ports=1)).resources
+        r4 = est.estimate(k, HlsConfig(dram_ports=4)).resources
+        assert r4.luts > r1.luts
+        assert r4.area_units() > r1.area_units()
+
+    def test_streamed_arrays_skip_bram_banking(self):
+        est = HlsEstimator()
+        streamed = est.estimate(streaming_kernel(), HlsConfig()).resources
+        # the giant arrays would need thousands of BRAMs if banked
+        assert streamed.brams < 100
+
+    def test_streaming_adds_pipeline_depth(self):
+        est = HlsEstimator()
+        deep = est.pipeline_depth(streaming_kernel(), HlsConfig())
+        shallow = est.pipeline_depth(onchip_kernel(), HlsConfig())
+        assert deep > shallow
+
+    def test_onchip_kernel_unaffected_by_ports(self):
+        est = HlsEstimator()
+        k = onchip_kernel()
+        a = est.estimate(k, HlsConfig(dram_ports=1))
+        b = est.estimate(k, HlsConfig(dram_ports=4))
+        assert a.initiation_interval == b.initiation_interval
+        assert a.resources == b.resources
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HlsConfig(dram_ports=0)
+
+    def test_label_mentions_ports(self):
+        assert "m4" in HlsConfig(dram_ports=4).label()
+        assert "m" not in HlsConfig(dram_ports=1).label().split("_")
+
+
+class TestGridAndDse:
+    def test_grid_sweeps_ports_only_when_streaming(self):
+        streamed_grid = list(default_config_grid(streaming_kernel()))
+        onchip_grid = list(default_config_grid(onchip_kernel()))
+        assert {c.dram_ports for c in streamed_grid} == {1, 2, 4}
+        assert {c.dram_ports for c in onchip_grid} == {1}
+
+    def test_dse_picks_multiport_for_streaming_kernel(self):
+        dse = DesignSpaceExplorer()
+        from repro.fabric import ResourceVector
+
+        budget = ResourceVector(luts=10**6, ffs=10**6, brams=10**4, dsps=10**4)
+        best = dse.best_under_constraints(
+            streaming_kernel(), budget, items_hint=100_000
+        )
+        assert best is not None
+        assert best.config.dram_ports > 1  # the automated decision

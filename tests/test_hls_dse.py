@@ -1,0 +1,124 @@
+"""Unit tests for design-space exploration and end-to-end synthesis."""
+
+import pytest
+
+from repro.fabric import ModuleLibrary, ResourceVector, TileGrid
+from repro.hls import (
+    DesignSpaceExplorer,
+    HlsConfig,
+    HlsTool,
+    SynthesisConstraints,
+    matmul_kernel,
+    pareto_front,
+    saxpy_kernel,
+    vecadd_kernel,
+)
+
+
+class TestExplorer:
+    def test_explore_covers_grid(self):
+        dse = DesignSpaceExplorer()
+        points = dse.explore(vecadd_kernel(64))
+        assert len(points) > 10
+        labels = {p.config.label() for p in points}
+        assert len(labels) == len(points)  # dedup worked
+
+    def test_area_budget_filters(self):
+        dse = DesignSpaceExplorer()
+        tight = ResourceVector(luts=2000, ffs=4000, brams=64, dsps=8)
+        all_points = dse.explore(saxpy_kernel(64))
+        tight_points = dse.explore(saxpy_kernel(64), area_budget=tight)
+        assert 0 < len(tight_points) < len(all_points)
+        for p in tight_points:
+            assert p.estimate.resources.fits_in(tight)
+
+    def test_front_is_nondominated(self):
+        dse = DesignSpaceExplorer()
+        front = dse.front(vecadd_kernel(64))
+        assert front
+        for i, a in enumerate(front):
+            for j, b in enumerate(front):
+                if i != j:
+                    assert not a.dominates(b)
+
+    def test_front_sorted_by_area_and_tradeoff_real(self):
+        dse = DesignSpaceExplorer()
+        front = dse.front(matmul_kernel(16))
+        areas = [p.area for p in front]
+        assert areas == sorted(areas)
+        if len(front) > 1:
+            # more area must buy more throughput along the front
+            assert front[-1].throughput > front[0].throughput
+
+    def test_best_under_constraints_fastest_fitting(self):
+        dse = DesignSpaceExplorer()
+        budget = ResourceVector(luts=10**6, ffs=10**6, brams=10**4, dsps=10**4)
+        best = dse.best_under_constraints(vecadd_kernel(64), budget)
+        assert best is not None
+        points = dse.explore(vecadd_kernel(64), area_budget=budget)
+        fastest = min(p.estimate.latency_ns(4096) for p in points)
+        assert best.estimate.latency_ns(4096) == pytest.approx(fastest)
+
+    def test_best_under_latency_target_minimizes_area(self):
+        dse = DesignSpaceExplorer()
+        budget = ResourceVector(luts=10**6, ffs=10**6, brams=10**4, dsps=10**4)
+        loose_target = 10**9  # everything meets it
+        best = dse.best_under_constraints(
+            vecadd_kernel(64), budget, target_latency_ns=loose_target
+        )
+        points = dse.explore(vecadd_kernel(64), area_budget=budget)
+        assert best.area == pytest.approx(min(p.area for p in points))
+
+    def test_best_none_when_budget_impossible(self):
+        dse = DesignSpaceExplorer()
+        nothing = ResourceVector()
+        assert dse.best_under_constraints(vecadd_kernel(64), nothing) is None
+
+    def test_pareto_front_empty(self):
+        assert pareto_front([]) == []
+
+
+class TestHlsTool:
+    def test_compile_registers_variants(self):
+        tool = HlsTool(TileGrid.standard(60, 50))
+        lib = ModuleLibrary()
+        report = tool.compile(vecadd_kernel(64), lib, SynthesisConstraints(max_variants=3))
+        assert report.explored > 0
+        assert report.front_size > 0
+        assert 1 <= len(report.modules) <= 3
+        assert "vecadd" in lib
+        assert len(lib.variants("vecadd")) == len(report.modules)
+
+    def test_variants_span_tradeoff(self):
+        tool = HlsTool(TileGrid.standard(60, 50))
+        lib = ModuleLibrary()
+        tool.compile(matmul_kernel(16), lib, SynthesisConstraints(max_variants=3))
+        variants = lib.variants("matmul")
+        if len(variants) >= 2:
+            areas = [v.resources.area_units() for v in variants]
+            assert max(areas) > min(areas)
+
+    def test_modules_have_plausible_timing(self):
+        tool = HlsTool()
+        lib = ModuleLibrary()
+        tool.compile(saxpy_kernel(64), lib)
+        for v in lib.variants("saxpy"):
+            assert v.latency_ns(1000) > 0
+            assert v.bitstream.size_bytes > 0
+            assert v.initiation_interval >= 1
+
+    def test_constraints_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisConstraints(max_variants=0)
+        with pytest.raises(ValueError):
+            SynthesisConstraints(items_hint=0)
+
+    def test_bitstream_frames_track_area(self):
+        """Bigger variants occupy wider bounding boxes -> more frames ->
+        bigger bitstreams (the floorplanner/compression coupling)."""
+        tool = HlsTool(TileGrid.standard(60, 50))
+        lib = ModuleLibrary()
+        tool.compile(matmul_kernel(16), lib, SynthesisConstraints(max_variants=3))
+        variants = sorted(lib.variants("matmul"), key=lambda v: v.resources.area_units())
+        if len(variants) >= 2:
+            assert variants[0].bitstream.frames <= variants[-1].bitstream.frames

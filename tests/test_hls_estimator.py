@@ -1,0 +1,164 @@
+"""Unit tests for HLS transforms and the estimator."""
+
+import pytest
+
+from repro.fabric import ResourceVector
+from repro.hls import (
+    HlsConfig,
+    HlsEstimator,
+    OpKind,
+    SoftwareCostModel,
+    matmul_kernel,
+    montecarlo_kernel,
+    saxpy_kernel,
+    vecadd_kernel,
+)
+from repro.hls.transforms import default_config_grid
+
+
+class TestHlsConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HlsConfig(unroll=0)
+        with pytest.raises(ValueError):
+            HlsConfig(duplicate=0)
+        with pytest.raises(ValueError):
+            HlsConfig(partition={"a": 0})
+
+    def test_label_and_hash(self):
+        a = HlsConfig(unroll=2, partition={"x": 4})
+        b = HlsConfig(unroll=2, partition={"x": 4})
+        assert a.label() == b.label()
+        assert hash(a) == hash(b)
+        assert "u2" in a.label()
+
+    def test_partition_default(self):
+        assert HlsConfig().partition_of("anything") == 1
+
+    def test_grid_respects_trip_count(self):
+        k = vecadd_kernel(4)
+        grid = list(default_config_grid(k))
+        assert all(c.unroll <= 4 for c in grid)
+        assert grid  # non-empty
+
+
+class TestInitiationInterval:
+    def setup_method(self):
+        self.est = HlsEstimator()
+
+    def test_parallel_kernel_reaches_ii1(self):
+        k = vecadd_kernel()
+        cfg = HlsConfig(pipeline=True, unroll=1, partition={"a": 1, "b": 1, "c": 1})
+        assert self.est.initiation_interval(k, cfg) == 1
+
+    def test_recurrence_bounds_ii(self):
+        k = matmul_kernel()
+        cfg = HlsConfig(pipeline=True, partition={a.name: 8 for a in k.arrays})
+        # recurrence (1, 3) -> II >= 3 regardless of ports
+        assert self.est.initiation_interval(k, cfg) == 3
+
+    def test_memory_ports_bound_ii(self):
+        k = vecadd_kernel()
+        # unroll 8 with no partitioning: 8 accesses on 2 ports -> II 4
+        cfg = HlsConfig(pipeline=True, unroll=8)
+        assert self.est.initiation_interval(k, cfg) == 4
+
+    def test_partitioning_relieves_port_pressure(self):
+        k = vecadd_kernel()
+        base = HlsConfig(pipeline=True, unroll=8)
+        parted = HlsConfig(pipeline=True, unroll=8, partition={a.name: 4 for a in k.arrays})
+        assert self.est.initiation_interval(k, parted) < self.est.initiation_interval(k, base)
+
+    def test_no_pipeline_ii_is_depth(self):
+        k = saxpy_kernel()
+        cfg = HlsConfig(pipeline=False)
+        assert self.est.initiation_interval(k, cfg) == self.est.pipeline_depth(k, cfg)
+
+
+class TestResourcesAndTiming:
+    def setup_method(self):
+        self.est = HlsEstimator()
+
+    def test_unroll_scales_datapath(self):
+        k = saxpy_kernel()
+        r1 = self.est.resources(k, HlsConfig(unroll=1))
+        r4 = self.est.resources(k, HlsConfig(unroll=4))
+        assert r4.dsps > r1.dsps
+        assert r4.luts > r1.luts
+
+    def test_partition_scales_brams(self):
+        # small arrays: every extra bank costs a whole (underfilled) BRAM
+        k = saxpy_kernel(64)
+        r1 = self.est.resources(k, HlsConfig())
+        r8 = self.est.resources(k, HlsConfig(partition={"x": 8, "y": 8}))
+        assert r8.brams > r1.brams
+
+    def test_clock_degrades_with_width(self):
+        k = saxpy_kernel()
+        c1 = self.est.clock_ns(k, HlsConfig(unroll=1))
+        c16 = self.est.clock_ns(k, HlsConfig(unroll=16))
+        assert c16 > c1
+
+    def test_estimate_latency_improves_with_unroll(self):
+        k = vecadd_kernel()
+        e1 = self.est.estimate(k, HlsConfig(unroll=1))
+        e8 = self.est.estimate(
+            k, HlsConfig(unroll=8, partition={a.name: 8 for a in k.arrays})
+        )
+        assert e8.latency_ns(4096) < e1.latency_ns(4096)
+
+    def test_estimate_cycles_validation(self):
+        k = vecadd_kernel()
+        e = self.est.estimate(k, HlsConfig())
+        with pytest.raises(ValueError):
+            e.cycles(0)
+
+    def test_pipelining_beats_sequential(self):
+        k = montecarlo_kernel()
+        pipe = self.est.estimate(k, HlsConfig(pipeline=True))
+        seq = self.est.estimate(k, HlsConfig(pipeline=False))
+        assert pipe.latency_ns(10000) < seq.latency_ns(10000)
+
+    def test_throughput_matches_ii_and_lanes(self):
+        k = vecadd_kernel()
+        e = self.est.estimate(k, HlsConfig(unroll=2, duplicate=2,
+                                           partition={a.name: 4 for a in k.arrays}))
+        assert e.lanes == 4
+        expected = 1000.0 * e.lanes / (e.initiation_interval * e.clock_ns)
+        assert e.throughput_items_per_us() == pytest.approx(expected)
+
+
+class TestSoftwareModel:
+    def test_latency_scales_linearly(self):
+        sw = SoftwareCostModel()
+        k = saxpy_kernel()
+        assert sw.latency_ns(k, 2000) == pytest.approx(2 * sw.latency_ns(k, 1000))
+
+    def test_div_heavy_kernel_slower(self):
+        sw = SoftwareCostModel()
+        from repro.hls import ArrayArg, Kernel
+        cheap = Kernel("cheap", (100,), {OpKind.ADD: 4})
+        pricey = Kernel("pricey", (100,), {OpKind.DIV: 4})
+        assert sw.latency_ns(pricey, 100) > sw.latency_ns(cheap, 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftwareCostModel(clock_ghz=0)
+        sw = SoftwareCostModel()
+        with pytest.raises(ValueError):
+            sw.latency_ns(vecadd_kernel(), 0)
+
+    def test_energy_positive(self):
+        sw = SoftwareCostModel()
+        assert sw.energy_pj(saxpy_kernel(), 1000) > 0
+
+    def test_fpga_wins_on_compute_heavy_kernel(self):
+        """The headline acceleration claim: a pipelined FPGA datapath beats
+        one CPU core on a transcendental-heavy Monte-Carlo kernel."""
+        est = HlsEstimator()
+        sw = SoftwareCostModel()
+        k = montecarlo_kernel()
+        hw = est.estimate(k, HlsConfig(pipeline=True, unroll=2,
+                                       partition={a.name: 4 for a in k.arrays}))
+        n = 100_000
+        assert hw.latency_ns(n) < sw.latency_ns(k, n)

@@ -1,0 +1,105 @@
+"""Unit tests for the kernel IR and the prebuilt kernel library."""
+
+import pytest
+
+from repro.hls import (
+    ArrayArg,
+    Kernel,
+    OpKind,
+    cart_split_kernel,
+    fir_kernel,
+    matmul_kernel,
+    montecarlo_kernel,
+    saxpy_kernel,
+    stencil_kernel,
+    vecadd_kernel,
+)
+
+
+class TestArrayArg:
+    def test_accesses(self):
+        a = ArrayArg("x", 4, reads_per_iter=2, writes_per_iter=1)
+        assert a.accesses_per_iter == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayArg("x", elem_bytes=0)
+        with pytest.raises(ValueError):
+            ArrayArg("x", reads_per_iter=-1)
+        with pytest.raises(ValueError):
+            ArrayArg("x", footprint_elems=0)
+
+
+class TestKernel:
+    def test_trip_counts(self):
+        k = Kernel("k", trip_counts=(10, 20), ops={OpKind.ADD: 1})
+        assert k.inner_trip == 20
+        assert k.outer_iterations == 10
+        assert k.total_iterations == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Kernel("k", trip_counts=())
+        with pytest.raises(ValueError):
+            Kernel("k", trip_counts=(0,))
+        with pytest.raises(ValueError):
+            Kernel("k", trip_counts=(4,), ops={OpKind.ADD: -1})
+        with pytest.raises(ValueError):
+            Kernel("k", trip_counts=(4,), recurrence=(0, 3))
+        with pytest.raises(ValueError):
+            Kernel(
+                "k",
+                trip_counts=(4,),
+                arrays=(ArrayArg("a"), ArrayArg("a")),
+            )
+
+    def test_array_lookup(self):
+        k = vecadd_kernel()
+        assert k.array("a").name == "a"
+        with pytest.raises(KeyError):
+            k.array("nope")
+
+    def test_ops_and_bytes_per_iteration(self):
+        k = saxpy_kernel()
+        assert k.ops_per_iteration() == 2
+        assert k.bytes_per_iteration() == 3 * 4  # 2 reads + 1 write, fp32
+
+    def test_arithmetic_intensity(self):
+        low = vecadd_kernel()
+        high = montecarlo_kernel()
+        assert high.arithmetic_intensity() > low.arithmetic_intensity()
+
+
+class TestKernelLibrary:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            vecadd_kernel,
+            saxpy_kernel,
+            matmul_kernel,
+            stencil_kernel,
+            fir_kernel,
+            montecarlo_kernel,
+            cart_split_kernel,
+        ],
+    )
+    def test_all_kernels_wellformed(self, factory):
+        k = factory()
+        assert k.total_iterations > 0
+        assert k.ops_per_iteration() > 0
+        assert k.arrays  # every kernel touches memory
+        assert k.description
+
+    def test_matmul_has_recurrence(self):
+        assert matmul_kernel().recurrence == (1, 3)
+
+    def test_montecarlo_parallel(self):
+        assert montecarlo_kernel().recurrence is None
+
+    def test_stencil_validation(self):
+        with pytest.raises(ValueError):
+            stencil_kernel(points=2)
+
+    def test_parametric_sizes(self):
+        assert vecadd_kernel(128).inner_trip == 128
+        assert matmul_kernel(8).total_iterations == 512

@@ -1,0 +1,85 @@
+"""Unit tests for the DMA engine."""
+
+import pytest
+
+from repro.interconnect import DmaEngine, DmaParams, build_tree
+from repro.sim import Simulator, spawn
+
+
+def setup(channels=2, **kw):
+    sim = Simulator()
+    net, workers = build_tree(sim, [4])
+    dma = DmaEngine(sim, net, DmaParams(channels=channels, **kw))
+    return sim, net, workers, dma
+
+
+def run(sim, gen):
+    out = {}
+
+    def proc():
+        out["v"] = yield from gen
+
+    spawn(sim, proc())
+    sim.run()
+    return out["v"]
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        DmaParams(setup_ns=-1)
+    with pytest.raises(ValueError):
+        DmaParams(channels=0)
+    with pytest.raises(ValueError):
+        DmaParams(max_transfer_bytes=0)
+
+
+def test_descriptor_count():
+    _, _, _, dma = setup(max_transfer_bytes=1000)
+    assert dma.descriptors_for(1) == 1
+    assert dma.descriptors_for(1000) == 1
+    assert dma.descriptors_for(1001) == 2
+    with pytest.raises(ValueError):
+        dma.descriptors_for(0)
+
+
+def test_transfer_latency_matches_analytic():
+    sim, net, workers, dma = setup()
+    rec = run(sim, dma.transfer(workers[0], workers[1], 4096))
+    assert rec.latency_ns == pytest.approx(dma.cost_ns(workers[0], workers[1], 4096))
+    assert rec.descriptors == 1
+    assert dma.bytes_moved == 4096
+
+
+def test_setup_cost_dominates_small_transfers():
+    sim, net, workers, dma = setup()
+    small = dma.cost_ns(workers[0], workers[1], 8)
+    assert small > dma.params.setup_ns  # fixed cost floors the latency
+    big = dma.cost_ns(workers[0], workers[1], 1 << 20)
+    assert big / (1 << 20) < small / 8  # per-byte cost collapses for bulk
+
+
+def test_large_transfer_splits_into_descriptors():
+    sim, net, workers, dma = setup(max_transfer_bytes=1024)
+    rec = run(sim, dma.transfer(workers[0], workers[1], 4096))
+    assert rec.descriptors == 4
+
+
+def test_channel_limit_serializes():
+    sim, net, workers, dma = setup(channels=1)
+    done = []
+
+    def job():
+        yield from dma.transfer(workers[0], workers[1], 1 << 16)
+        done.append(sim.now)
+
+    spawn(sim, job())
+    spawn(sim, job())
+    sim.run()
+    assert done[1] >= 2 * done[0] * 0.9  # second waits for the channel
+
+
+def test_mean_latency():
+    sim, net, workers, dma = setup()
+    assert dma.mean_latency_ns == 0.0
+    run(sim, dma.transfer(workers[0], workers[1], 1024))
+    assert dma.mean_latency_ns > 0

@@ -1,0 +1,95 @@
+"""Unit tests for links and messages."""
+
+import pytest
+
+from repro.interconnect import Link, LinkParams, Message, TransactionType
+from repro.sim import Simulator, spawn
+
+
+class TestLinkParams:
+    def test_transfer_time(self):
+        p = LinkParams(bandwidth_gbps=10.0, latency_ns=5.0)
+        assert p.transfer_ns(100) == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkParams(bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            LinkParams(latency_ns=-1)
+        with pytest.raises(ValueError):
+            LinkParams(energy_per_byte_pj=-1)
+        with pytest.raises(ValueError):
+            LinkParams(width_lanes=0)
+
+
+class TestLink:
+    def test_cost_and_account(self):
+        sim = Simulator()
+        link = Link(sim, LinkParams(bandwidth_gbps=1.0, latency_ns=0.0, energy_per_byte_pj=2.0))
+        assert link.cost(64) == pytest.approx(64.0)
+        link.account(64)
+        assert link.bytes_carried == 64
+        assert link.energy_pj == pytest.approx(128.0)
+
+    def test_negative_size_rejected(self):
+        sim = Simulator()
+        link = Link(sim)
+        with pytest.raises(ValueError):
+            link.cost(-1)
+
+    def test_transfer_serializes_on_single_lane(self):
+        sim = Simulator()
+        link = Link(sim, LinkParams(bandwidth_gbps=1.0, latency_ns=0.0))
+        done = []
+
+        def sender(tag):
+            yield from link.transfer(100)
+            done.append((tag, sim.now))
+
+        spawn(sim, sender("a"))
+        spawn(sim, sender("b"))
+        sim.run()
+        times = sorted(t for _, t in done)
+        assert times == [100.0, 200.0]
+
+    def test_multi_lane_link_parallelizes(self):
+        sim = Simulator()
+        link = Link(sim, LinkParams(bandwidth_gbps=1.0, latency_ns=0.0, width_lanes=2))
+        done = []
+
+        def sender():
+            yield from link.transfer(100)
+            done.append(sim.now)
+
+        spawn(sim, sender())
+        spawn(sim, sender())
+        sim.run()
+        assert done == [100.0, 100.0]
+
+
+class TestMessage:
+    def test_wire_bytes_include_header(self):
+        m = Message(0, 1, 100, TransactionType.LOAD)
+        assert m.wire_bytes == 116
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, -5)
+
+    def test_latency_none_until_delivered(self):
+        m = Message(0, 1, 10)
+        assert m.latency is None
+        m.issued_at, m.delivered_at = 5.0, 30.0
+        assert m.latency == 25.0
+
+    def test_unique_ids(self):
+        a, b = Message(0, 1, 1), Message(0, 1, 1)
+        assert a.msg_id != b.msg_id
+
+    def test_priorities_prefer_sync_over_dma(self):
+        assert TransactionType.SYNC.priority < TransactionType.DMA.priority
+        assert TransactionType.INTERRUPT.priority < TransactionType.MPI.priority
+
+    def test_all_types_have_headers(self):
+        for t in TransactionType:
+            assert t.header_bytes > 0

@@ -1,0 +1,112 @@
+"""Unit tests for Network routing, costing and simulation."""
+
+import pytest
+
+from repro.interconnect import LinkParams, Message, Network, TransactionType
+from repro.sim import Simulator, spawn
+
+
+def line_network(n=3, **kw):
+    """0 - 1 - 2 - ... chain."""
+    sim = Simulator()
+    net = Network(sim)
+    for i in range(n):
+        net.add_node(i)
+    for i in range(n - 1):
+        net.add_link(i, i + 1, LinkParams(**kw))
+    return sim, net
+
+
+class TestRouting:
+    def test_route_self_is_empty(self):
+        _, net = line_network()
+        r = net.route(1, 1)
+        assert r.hops == 0
+        assert r.latency(100) == 0.0
+
+    def test_route_follows_chain(self):
+        _, net = line_network(4)
+        r = net.route(0, 3)
+        assert r.nodes == [0, 1, 2, 3]
+        assert r.hops == 3
+
+    def test_no_route_raises(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_node("a")
+        net.add_node("b")
+        with pytest.raises(ValueError):
+            net.route("a", "b")
+        with pytest.raises(ValueError):
+            net.route("a", "missing")
+
+    def test_route_cache_invalidated_by_new_link(self):
+        sim, net = line_network(3)
+        assert net.route(0, 2).hops == 2
+        net.add_link(0, 2, LinkParams())
+        assert net.route(0, 2).hops == 1
+
+    def test_weighted_routing_prefers_fast_path(self):
+        sim = Simulator()
+        net = Network(sim)
+        for n in ("a", "b", "c"):
+            net.add_node(n)
+        net.add_link("a", "c", LinkParams(latency_ns=1000.0))
+        net.add_link("a", "b", LinkParams(latency_ns=10.0))
+        net.add_link("b", "c", LinkParams(latency_ns=10.0))
+        r = net.route("a", "c")
+        assert r.nodes == ["a", "b", "c"]
+
+    def test_hop_distance_and_diameter(self):
+        _, net = line_network(5)
+        assert net.hop_distance(0, 4) == 4
+        assert net.diameter_hops() == 4
+        assert net.diameter_hops(endpoints=[1, 2, 3]) == 2
+
+
+class TestCosting:
+    def test_send_cost_accumulates_per_hop(self):
+        _, net = line_network(3, bandwidth_gbps=1.0, latency_ns=10.0, energy_per_byte_pj=2.0)
+        msg = Message(0, 2, 100, TransactionType.DMA)  # wire = 132
+        lat, energy = net.send_cost(msg)
+        assert lat == pytest.approx(2 * (10.0 + 132.0))
+        assert energy == pytest.approx(2 * 132 * 2.0)
+        assert net.total_link_bytes() == 2 * 132
+        assert net.total_energy_pj() == pytest.approx(energy)
+
+    def test_reset_traffic(self):
+        _, net = line_network(3)
+        net.send_cost(Message(0, 2, 100))
+        net.reset_traffic()
+        assert net.total_link_bytes() == 0
+        assert net.total_energy_pj() == 0.0
+        assert net.messages_sent == 0
+
+
+class TestSimulatedSend:
+    def test_send_process_timestamps(self):
+        sim, net = line_network(3, bandwidth_gbps=1.0, latency_ns=0.0)
+        results = []
+
+        def proc():
+            msg = Message(0, 2, 100, TransactionType.SYNC)  # wire 108
+            delivered = yield from net.send(msg)
+            results.append(delivered.latency)
+
+        spawn(sim, proc())
+        sim.run()
+        assert results[0] == pytest.approx(2 * 108.0)
+
+    def test_contention_on_shared_link(self):
+        sim, net = line_network(2, bandwidth_gbps=1.0, latency_ns=0.0)
+        done = []
+
+        def proc():
+            msg = Message(0, 1, 92, TransactionType.SYNC)  # wire 100
+            yield from net.send(msg)
+            done.append(sim.now)
+
+        spawn(sim, proc())
+        spawn(sim, proc())
+        sim.run()
+        assert sorted(done) == [100.0, 200.0]

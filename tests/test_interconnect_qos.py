@@ -1,0 +1,93 @@
+"""Tests for priority arbitration on contended links (interconnect QoS)."""
+
+import pytest
+
+from repro.interconnect import LinkParams, Message, Network, TransactionType
+from repro.sim import Simulator, Timeout, spawn
+
+
+def contended_network():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b", LinkParams(bandwidth_gbps=1.0, latency_ns=0.0))
+    return sim, net
+
+
+def test_sync_overtakes_queued_dma():
+    """Three bulk DMAs are queued; a SYNC message issued later is served
+    before the waiting DMAs -- the arbitration the paper's small-message
+    argument requires."""
+    sim, net = contended_network()
+    order = []
+
+    def send(kind, size, tag, delay):
+        yield Timeout(delay)
+        yield from net.send(Message("a", "b", size, kind))
+        order.append(tag)
+
+    for i in range(3):
+        spawn(sim, send(TransactionType.DMA, 10_000, f"dma{i}", 0.0))
+    spawn(sim, send(TransactionType.SYNC, 8, "sync", 1.0))
+    sim.run()
+    # dma0 was already on the wire; sync preempts the *queue*, not the wire
+    assert order.index("sync") == 1
+
+
+def test_interrupt_beats_mpi_in_queue():
+    sim, net = contended_network()
+    order = []
+
+    def send(kind, size, tag, delay):
+        yield Timeout(delay)
+        yield from net.send(Message("a", "b", size, kind))
+        order.append(tag)
+
+    spawn(sim, send(TransactionType.DMA, 50_000, "bulk", 0.0))
+    spawn(sim, send(TransactionType.MPI, 4096, "mpi", 1.0))
+    spawn(sim, send(TransactionType.INTERRUPT, 8, "irq", 2.0))
+    sim.run()
+    assert order == ["bulk", "irq", "mpi"]
+
+
+def test_same_priority_stays_fifo():
+    sim, net = contended_network()
+    order = []
+
+    def send(tag, delay):
+        yield Timeout(delay)
+        yield from net.send(Message("a", "b", 1000, TransactionType.LOAD))
+        order.append(tag)
+
+    for i in range(4):
+        spawn(sim, send(f"load{i}", float(i)))
+    sim.run()
+    assert order == ["load0", "load1", "load2", "load3"]
+
+
+def test_sync_latency_bounded_under_bulk_load():
+    """Quantified: with priority arbitration a sync message's latency is
+    bounded by one in-flight bulk transfer, not the whole queue."""
+    sim, net = contended_network()
+    results = {}
+
+    def bulk():
+        yield from net.send(Message("a", "b", 100_000, TransactionType.DMA))
+
+    def more_bulk():
+        yield Timeout(0.5)
+        yield from net.send(Message("a", "b", 100_000, TransactionType.DMA))
+
+    def sync():
+        yield Timeout(1.0)
+        msg = Message("a", "b", 8, TransactionType.SYNC)
+        delivered = yield from net.send(msg)
+        results["latency"] = delivered.latency
+
+    spawn(sim, bulk())
+    spawn(sim, more_bulk())
+    spawn(sim, sync())
+    sim.run()
+    one_bulk_ns = 100_032.0  # wire bytes at 1 GB/s
+    assert results["latency"] < 1.5 * one_bulk_ns  # not 2+ bulks

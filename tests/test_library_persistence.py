@@ -1,0 +1,87 @@
+"""Unit tests for module-library save/load."""
+
+import json
+
+import pytest
+
+from repro.fabric import ModuleLibrary
+from repro.hls import HlsTool, SynthesisConstraints, saxpy_kernel, stencil_kernel
+
+
+@pytest.fixture(scope="module")
+def library():
+    lib = ModuleLibrary()
+    tool = HlsTool()
+    tool.compile(saxpy_kernel(1024), lib, SynthesisConstraints(max_variants=2))
+    tool.compile(stencil_kernel(1024), lib, SynthesisConstraints(max_variants=1))
+    return lib
+
+
+def test_save_writes_manifest_and_bitstreams(library, tmp_path):
+    count = library.save(tmp_path)
+    assert count == len(library)
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert len(manifest) == count
+    for entry in manifest:
+        assert (tmp_path / entry["bitstream_file"]).exists()
+
+
+def test_roundtrip_preserves_everything(library, tmp_path):
+    library.save(tmp_path)
+    loaded = ModuleLibrary.load(tmp_path)
+    assert loaded.functions() == library.functions()
+    assert len(loaded) == len(library)
+    for function in library.functions():
+        originals = {m.name: m for m in library.variants(function)}
+        for module in loaded.variants(function):
+            orig = originals[module.name]
+            assert module.bitstream.data == orig.bitstream.data
+            assert module.resources == orig.resources
+            assert module.initiation_interval == orig.initiation_interval
+            assert module.latency_ns(1000) == orig.latency_ns(1000)
+
+
+def test_compressed_on_disk(library, tmp_path):
+    library.save(tmp_path)
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    for entry in manifest:
+        on_disk = (tmp_path / entry["bitstream_file"]).stat().st_size
+        raw = entry["frames"] * 404
+        assert on_disk < raw  # stored compressed
+
+
+def test_load_missing_manifest(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        ModuleLibrary.load(tmp_path)
+
+
+def test_load_corrupt_bitstream_rejected(library, tmp_path):
+    library.save(tmp_path)
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    victim = tmp_path / manifest[0]["bitstream_file"]
+    victim.write_bytes(victim.read_bytes()[:-10])  # truncate
+    with pytest.raises(ValueError):
+        ModuleLibrary.load(tmp_path)
+
+
+def test_loaded_library_serves_runtime(library, tmp_path):
+    """A reloaded library plugs straight into a Worker."""
+    from repro.core import Worker
+    from repro.sim import Simulator, spawn
+
+    library.save(tmp_path)
+    loaded = ModuleLibrary.load(tmp_path)
+    sim = Simulator()
+    worker = Worker(sim, 0)
+    capacity = worker.fabric.regions[0].capacity
+    module = loaded.best_variant("saxpy", capacity=capacity)
+    out = {}
+
+    def proc():
+        out["region"] = yield from worker.load_module(module)
+        out["latency"] = yield from worker.run_hardware("saxpy", 512)
+
+    spawn(sim, proc())
+    sim.run()
+    assert out["region"] is not None
+    assert out["latency"] > 0

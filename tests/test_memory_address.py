@@ -1,0 +1,128 @@
+"""Unit + property tests for the global address map and ranges."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import PAGE_SIZE, AddressRange, GlobalAddressMap
+
+
+class TestAddressRange:
+    def test_basic_fields(self):
+        r = AddressRange(0x1000, 0x200)
+        assert r.end == 0x1200
+        assert r.contains(0x1000)
+        assert r.contains(0x11FF)
+        assert not r.contains(0x1200)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            AddressRange(-1, 10)
+        with pytest.raises(ValueError):
+            AddressRange(0, -10)
+
+    def test_overlap(self):
+        a = AddressRange(0, 100)
+        b = AddressRange(50, 100)
+        c = AddressRange(100, 10)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_pages_single(self):
+        r = AddressRange(10, 20)
+        assert list(r.pages()) == [0]
+
+    def test_pages_spanning(self):
+        r = AddressRange(PAGE_SIZE - 1, 2)
+        assert list(r.pages()) == [0, 1]
+
+    def test_pages_empty(self):
+        assert list(AddressRange(100, 0).pages()) == []
+
+    def test_split_by_page_covers_range(self):
+        r = AddressRange(100, 3 * PAGE_SIZE)
+        parts = list(r.split_by_page())
+        assert parts[0].base == 100
+        assert sum(p.size for p in parts) == r.size
+        assert parts[-1].end == r.end
+        # each part stays within one page
+        for p in parts:
+            assert (p.base >> 12) == ((p.end - 1) >> 12)
+
+
+class TestGlobalAddressMap:
+    def test_worker_of_and_offset(self):
+        amap = GlobalAddressMap(4, 1 << 20)
+        addr = 3 * (1 << 20) + 0x123
+        assert amap.worker_of(addr) == 3
+        assert amap.local_offset(addr) == 0x123
+
+    def test_global_address_roundtrip(self):
+        amap = GlobalAddressMap(8, 1 << 20)
+        g = amap.global_address(5, 0x456)
+        assert amap.worker_of(g) == 5
+        assert amap.local_offset(g) == 0x456
+
+    def test_window(self):
+        amap = GlobalAddressMap(2, 1 << 20)
+        w = amap.window(1)
+        assert w.base == 1 << 20
+        assert w.size == 1 << 20
+
+    def test_out_of_range_rejected(self):
+        amap = GlobalAddressMap(2, 1 << 20)
+        with pytest.raises(ValueError):
+            amap.worker_of(2 << 20)
+        with pytest.raises(ValueError):
+            amap.worker_of(-1)
+        with pytest.raises(ValueError):
+            amap.global_address(2, 0)
+        with pytest.raises(ValueError):
+            amap.global_address(0, 1 << 20)
+        with pytest.raises(ValueError):
+            amap.window(5)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            GlobalAddressMap(0, 1 << 20)
+        with pytest.raises(ValueError):
+            GlobalAddressMap(4, 100)  # not page multiple
+
+    def test_split_by_worker(self):
+        amap = GlobalAddressMap(4, 1 << 20)
+        rng = AddressRange((1 << 20) - 100, 200)
+        parts = list(amap.split_by_worker(rng))
+        assert [w for w, _ in parts] == [0, 1]
+        assert parts[0][1].size == 100
+        assert parts[1][1].size == 100
+
+    @given(
+        workers=st.integers(min_value=1, max_value=16),
+        offset_pages=st.integers(min_value=0, max_value=255),
+        inner=st.integers(min_value=0, max_value=PAGE_SIZE - 1),
+    )
+    def test_roundtrip_property(self, workers, offset_pages, inner):
+        amap = GlobalAddressMap(workers, 256 * PAGE_SIZE)
+        for w in range(workers):
+            offset = offset_pages * PAGE_SIZE + inner
+            g = amap.global_address(w, offset)
+            assert amap.worker_of(g) == w
+            assert amap.local_offset(g) == offset
+
+    @given(
+        base=st.integers(min_value=0, max_value=(1 << 22) - 1),
+        size=st.integers(min_value=1, max_value=1 << 16),
+    )
+    def test_split_by_worker_partitions_exactly(self, base, size):
+        amap = GlobalAddressMap(8, 1 << 20)
+        size = min(size, amap.total_size - base)
+        if size <= 0:
+            return
+        rng = AddressRange(base, size)
+        parts = list(amap.split_by_worker(rng))
+        assert sum(r.size for _, r in parts) == size
+        # contiguous and ordered
+        cursor = base
+        for _, r in parts:
+            assert r.base == cursor
+            cursor = r.end
+        assert cursor == rng.end

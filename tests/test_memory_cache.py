@@ -1,0 +1,143 @@
+"""Unit + property tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import Cache, CacheGeometry
+
+
+def small_cache(assoc=2, sets=4, line=64):
+    return Cache(CacheGeometry(size_bytes=assoc * sets * line, line_bytes=line, associativity=assoc))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        g = CacheGeometry(size_bytes=32 * 1024, line_bytes=64, associativity=4)
+        assert g.num_sets == 128
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=0)
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1000, line_bytes=64, associativity=4)
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        hit, wb = c.access(0)
+        assert not hit and wb is None
+        hit, wb = c.access(0)
+        assert hit
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_same_line_different_bytes_hit(self):
+        c = small_cache(line=64)
+        c.access(0)
+        hit, _ = c.access(63)
+        assert hit
+
+    def test_lru_eviction(self):
+        c = small_cache(assoc=2, sets=1, line=64)
+        c.access(0)       # A
+        c.access(64)      # B
+        c.access(0)       # touch A -> B is LRU
+        c.access(128)     # C evicts B
+        assert c.access(0)[0] is True     # A still present
+        assert c.access(64)[0] is False   # B was evicted
+
+    def test_dirty_eviction_reports_writeback(self):
+        c = small_cache(assoc=1, sets=1, line=64)
+        c.access(0, is_write=True)
+        hit, wb = c.access(64)
+        assert not hit
+        assert wb == 0
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = small_cache(assoc=1, sets=1, line=64)
+        c.access(0, is_write=False)
+        _, wb = c.access(64)
+        assert wb is None
+
+    def test_disabled_cache_always_misses(self):
+        c = small_cache()
+        c.enabled = False
+        for _ in range(5):
+            hit, wb = c.access(0)
+            assert not hit and wb is None
+        assert c.stats.misses == 5
+        assert c.occupancy == 0
+
+    def test_touch_range_counts(self):
+        c = small_cache(assoc=4, sets=4, line=64)
+        hits, misses = c.touch_range(0, 256)
+        assert (hits, misses) == (0, 4)
+        hits, misses = c.touch_range(0, 256)
+        assert (hits, misses) == (4, 0)
+
+    def test_touch_range_empty(self):
+        c = small_cache()
+        assert c.touch_range(0, 0) == (0, 0)
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.access(0)
+        assert c.invalidate(0)
+        assert not c.invalidate(0)
+        assert c.access(0)[0] is False
+
+    def test_flush_reports_dirty_lines(self):
+        c = small_cache(assoc=4, sets=4, line=64)
+        c.access(0, is_write=True)
+        c.access(64, is_write=True)
+        c.access(128, is_write=False)
+        assert c.flush() == 2
+        assert c.occupancy == 0
+
+    def test_flush_page(self):
+        c = small_cache(assoc=4, sets=16, line=64)
+        c.access(0, is_write=True)
+        c.access(64, is_write=True)
+        c.access(4096, is_write=True)  # other page
+        dirty = c.flush_page(0, 4096)
+        assert dirty == 2
+        assert c.access(4096)[0] is True  # other page untouched
+
+    def test_contents(self):
+        c = small_cache()
+        c.access(0, is_write=True)
+        c.access(64)
+        contents = c.contents()
+        assert contents[0] is True
+        assert contents[64] is False
+
+
+class TestCacheProperties:
+    @given(st.lists(st.tuples(st.integers(0, 1 << 16), st.booleans()), max_size=200))
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_capacity(self, trace):
+        c = small_cache(assoc=2, sets=4)
+        cap = c.geometry.num_sets * c.geometry.associativity
+        for addr, w in trace:
+            c.access(addr, w)
+            assert c.occupancy <= cap
+
+    @given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_repeat_access_is_hit(self, addrs):
+        c = Cache(CacheGeometry(size_bytes=1 << 20, line_bytes=64, associativity=16))
+        for a in addrs:
+            c.access(a)
+        # cache is big enough to hold the whole footprint: all re-touches hit
+        for a in addrs:
+            hit, _ = c.access(a)
+            assert hit
+
+    @given(st.lists(st.tuples(st.integers(0, 1 << 16), st.booleans()), max_size=200))
+    @settings(max_examples=50)
+    def test_hits_plus_misses_equals_accesses(self, trace):
+        c = small_cache()
+        for addr, w in trace:
+            c.access(addr, w)
+        assert c.stats.hits + c.stats.misses == len(trace)

@@ -1,0 +1,84 @@
+"""Unit tests for the DRAM timing/energy model."""
+
+import pytest
+
+from repro.memory import Dram, DramTiming
+from repro.sim import Simulator
+
+
+def make_dram(**kw):
+    return Dram(Simulator(), DramTiming(**kw))
+
+
+def test_row_miss_then_hit():
+    d = make_dram()
+    t1 = d.access(0, 64)
+    t2 = d.access(64, 64)
+    assert t1 > t2  # first touch opens the row
+    assert d.row_hits == 1 and d.row_misses == 1
+
+
+def test_bank_conflict_reopens_row():
+    d = make_dram(num_banks=2, row_bytes=128)
+    d.access(0, 8)            # bank 0, row 0
+    d.access(2 * 128, 8)      # row 2 -> bank 0 again, different row
+    d.access(0, 8)            # row 0 again: must re-activate
+    assert d.row_misses == 3
+
+
+def test_different_banks_keep_rows_open():
+    d = make_dram(num_banks=2, row_bytes=128)
+    d.access(0, 8)        # bank 0 row 0
+    d.access(128, 8)      # bank 1 row 1
+    t = d.access(8, 8)    # bank 0 row 0 still open
+    assert t == pytest.approx(DramTiming().row_hit_ns + 8 / DramTiming().bandwidth_gbps)
+
+
+def test_latency_includes_transfer_time():
+    d = make_dram(bandwidth_gbps=10.0)
+    t_small = d.access(0, 64)
+    d2 = make_dram(bandwidth_gbps=10.0)
+    t_big = d2.access(0, 6400)
+    assert t_big > t_small
+
+
+def test_burst_spanning_rows_charges_activates():
+    d = make_dram(row_bytes=128)
+    d.access(0, 3 * 128)  # spans rows 0,1,2
+    assert d.row_misses == 3
+    # energy: 3 activates + per-byte
+    expected = 3 * d.timing.energy_per_activate_pj + 3 * 128 * d.timing.energy_per_byte_pj
+    assert d.energy_pj == pytest.approx(expected)
+
+
+def test_counts_reads_writes_bytes():
+    d = make_dram()
+    d.access(0, 100, is_write=False)
+    d.access(0, 50, is_write=True)
+    assert d.reads == 1 and d.writes == 1
+    assert d.bytes_transferred == 150
+
+
+def test_invalid_access_rejected():
+    d = make_dram()
+    with pytest.raises(ValueError):
+        d.access(0, 0)
+    with pytest.raises(ValueError):
+        d.access(d.timing.capacity_bytes, 8)
+
+
+def test_invalid_timing_rejected():
+    with pytest.raises(ValueError):
+        DramTiming(row_hit_ns=50.0, row_miss_ns=10.0)
+    with pytest.raises(ValueError):
+        DramTiming(bandwidth_gbps=0)
+
+
+def test_row_hit_rate_and_reset():
+    d = make_dram()
+    d.access(0, 8)
+    d.access(8, 8)
+    assert d.row_hit_rate == pytest.approx(0.5)
+    d.reset_stats()
+    assert d.row_hit_rate == 0.0
+    assert d.bytes_transferred == 0

@@ -1,0 +1,159 @@
+"""Unit tests for the dual-stage SMMU."""
+
+import pytest
+
+from repro.memory import PAGE_SIZE, PageTable, Smmu, SmmuFault, TranslationRegime
+
+
+def nested_smmu(tlb_entries=64):
+    """Context 1: VA page 1 -> IPA page 10 -> PA page 100."""
+    s1, s2 = PageTable("s1"), PageTable("s2")
+    s1.map(1, 10)
+    s2.map(10, 100)
+    smmu = Smmu(tlb_entries=tlb_entries)
+    smmu.attach_context(1, TranslationRegime.NESTED, stage1=s1, stage2=s2)
+    return smmu
+
+
+def test_nested_translation():
+    smmu = nested_smmu()
+    pa, lat = smmu.translate(1, PAGE_SIZE + 0x42)
+    assert pa == 100 * PAGE_SIZE + 0x42
+    assert lat == pytest.approx(2 * smmu.walk_latency_ns)  # two-stage walk
+
+
+def test_tlb_hit_is_free_after_walk():
+    smmu = nested_smmu()
+    smmu.translate(1, PAGE_SIZE)
+    pa, lat = smmu.translate(1, PAGE_SIZE + 8)
+    assert lat == 0.0
+    assert pa == 100 * PAGE_SIZE + 8
+    assert smmu.stats.tlb_hits == 1 and smmu.stats.tlb_misses == 1
+
+
+def test_stage1_only():
+    s1 = PageTable()
+    s1.map(0, 7)
+    smmu = Smmu()
+    smmu.attach_context(3, TranslationRegime.STAGE1_ONLY, stage1=s1)
+    pa, lat = smmu.translate(3, 0x10)
+    assert pa == 7 * PAGE_SIZE + 0x10
+    assert lat == pytest.approx(smmu.walk_latency_ns)
+
+
+def test_stage2_only():
+    s2 = PageTable()
+    s2.map(0, 9)
+    smmu = Smmu()
+    smmu.attach_context(4, TranslationRegime.STAGE2_ONLY, stage2=s2)
+    pa, _ = smmu.translate(4, 0x20)
+    assert pa == 9 * PAGE_SIZE + 0x20
+
+
+def test_bypass_passes_through():
+    smmu = Smmu()
+    smmu.attach_context(9, TranslationRegime.BYPASS)
+    pa, lat = smmu.translate(9, 0xDEAD000)
+    assert pa == 0xDEAD000 and lat == 0.0
+
+
+def test_unknown_context_faults():
+    smmu = Smmu()
+    with pytest.raises(SmmuFault):
+        smmu.translate(99, 0)
+
+
+def test_stage1_fault():
+    smmu = nested_smmu()
+    with pytest.raises(SmmuFault) as exc:
+        smmu.translate(1, 5 * PAGE_SIZE)
+    assert exc.value.stage == 1
+    assert smmu.stats.faults == 1
+
+
+def test_stage2_fault():
+    s1, s2 = PageTable(), PageTable()
+    s1.map(0, 10)  # IPA 10 unmapped in stage 2
+    smmu = Smmu()
+    smmu.attach_context(1, TranslationRegime.NESTED, stage1=s1, stage2=s2)
+    with pytest.raises(SmmuFault) as exc:
+        smmu.translate(1, 0)
+    assert exc.value.stage == 2
+
+
+def test_write_to_readonly_faults():
+    s1 = PageTable()
+    s1.map(0, 5, writable=False)
+    smmu = Smmu()
+    smmu.attach_context(1, TranslationRegime.STAGE1_ONLY, stage1=s1)
+    pa, _ = smmu.translate(1, 0, is_write=False)
+    assert pa == 5 * PAGE_SIZE
+    with pytest.raises(SmmuFault):
+        smmu.translate(1, 0, is_write=True)
+
+
+def test_write_permission_checked_on_tlb_hit():
+    s1 = PageTable()
+    s1.map(0, 5, writable=False)
+    smmu = Smmu()
+    smmu.attach_context(1, TranslationRegime.STAGE1_ONLY, stage1=s1)
+    smmu.translate(1, 0)  # fills TLB
+    with pytest.raises(SmmuFault):
+        smmu.translate(1, 4, is_write=True)
+
+
+def test_tlb_eviction_lru():
+    s1 = PageTable()
+    for vpn in range(4):
+        s1.map(vpn, vpn + 10)
+    smmu = Smmu(tlb_entries=2)
+    smmu.attach_context(1, TranslationRegime.STAGE1_ONLY, stage1=s1)
+    smmu.translate(1, 0)             # vpn 0
+    smmu.translate(1, PAGE_SIZE)     # vpn 1
+    smmu.translate(1, 0)             # touch vpn 0
+    smmu.translate(1, 2 * PAGE_SIZE) # evicts vpn 1
+    assert smmu.tlb_occupancy == 2
+    _, lat = smmu.translate(1, 0)
+    assert lat == 0.0                # vpn 0 still cached
+    _, lat = smmu.translate(1, PAGE_SIZE)
+    assert lat > 0.0                 # vpn 1 had to re-walk
+
+
+def test_invalidate_context_forces_rewalk():
+    smmu = nested_smmu()
+    smmu.translate(1, PAGE_SIZE)
+    dropped = smmu.invalidate_context(1)
+    assert dropped == 1
+    _, lat = smmu.translate(1, PAGE_SIZE)
+    assert lat > 0.0
+
+
+def test_detach_context_then_fault():
+    smmu = nested_smmu()
+    smmu.translate(1, PAGE_SIZE)
+    smmu.detach_context(1)
+    with pytest.raises(SmmuFault):
+        smmu.translate(1, PAGE_SIZE)
+
+
+def test_attach_requires_tables():
+    smmu = Smmu()
+    with pytest.raises(ValueError):
+        smmu.attach_context(1, TranslationRegime.NESTED, stage1=PageTable())
+    with pytest.raises(ValueError):
+        smmu.attach_context(1, TranslationRegime.STAGE1_ONLY)
+
+
+def test_map_range():
+    pt = PageTable()
+    pt.map_range(0, 16 * PAGE_SIZE, 3 * PAGE_SIZE)
+    assert len(pt) == 3
+    assert pt.lookup(0) == (16, True)
+    assert pt.lookup(2) == (18, True)
+    with pytest.raises(ValueError):
+        pt.map_range(5, 0, PAGE_SIZE)
+
+
+def test_tlb_entries_validation():
+    with pytest.raises(ValueError):
+        Smmu(tlb_entries=0)

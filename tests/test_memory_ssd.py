@@ -1,0 +1,116 @@
+"""Unit tests for the SSD model and out-of-core cost helpers."""
+
+import pytest
+
+from repro.memory.ssd import (
+    Ssd,
+    SsdTiming,
+    out_of_core_passes,
+    out_of_core_sort_cost_ns,
+)
+from repro.sim import Simulator, spawn
+
+
+def run(sim, gen):
+    out = {}
+
+    def proc():
+        out["v"] = yield from gen
+
+    spawn(sim, proc())
+    sim.run()
+    return out["v"]
+
+
+class TestSsd:
+    def test_timing_validation(self):
+        with pytest.raises(ValueError):
+            SsdTiming(read_latency_ns=-1)
+        with pytest.raises(ValueError):
+            SsdTiming(read_bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            SsdTiming(queue_depth=0)
+        with pytest.raises(ValueError):
+            SsdTiming(capacity_bytes=0)
+
+    def test_read_write_asymmetry(self):
+        ssd = Ssd(Simulator())
+        size = 1 << 20
+        # reads have higher first-byte latency; writes lower bandwidth
+        assert ssd.read_cost_ns(64) > ssd.write_cost_ns(64)
+        assert ssd.write_cost_ns(size) - ssd.timing.write_latency_ns > (
+            ssd.read_cost_ns(size) - ssd.timing.read_latency_ns
+        )
+
+    def test_size_validation(self):
+        ssd = Ssd(Simulator())
+        with pytest.raises(ValueError):
+            ssd.read_cost_ns(0)
+        with pytest.raises(ValueError):
+            ssd.write_cost_ns(-1)
+
+    def test_process_accounts_bytes_and_energy(self):
+        sim = Simulator()
+        ssd = Ssd(sim)
+        lat = run(sim, ssd.read(4096))
+        assert lat == pytest.approx(ssd.read_cost_ns(4096))
+        run(sim, ssd.write(1000))
+        assert ssd.bytes_read == 4096
+        assert ssd.bytes_written == 1000
+        assert ssd.energy_pj > 0
+
+    def test_queue_depth_limits_concurrency(self):
+        sim = Simulator()
+        ssd = Ssd(sim, SsdTiming(queue_depth=1))
+        done = []
+
+        def job():
+            yield from ssd.read(1 << 20)
+            done.append(sim.now)
+
+        spawn(sim, job())
+        spawn(sim, job())
+        sim.run()
+        assert done[1] == pytest.approx(2 * done[0])
+
+
+class TestOutOfCore:
+    def test_in_memory_free(self):
+        assert out_of_core_passes(1 << 20, 1 << 30) == 0
+        ssd = Ssd(Simulator())
+        cost, passes = out_of_core_sort_cost_ns(ssd, 1 << 20, 1 << 30)
+        assert cost == 0.0 and passes == 0
+
+    def test_single_spill_pass(self):
+        # 4 GiB of data, 1 GiB of memory: 4 runs, fan-in >> 4 -> one pass
+        passes = out_of_core_passes(4 << 30, 1 << 30)
+        assert passes == 1
+
+    def test_multilevel_merge_for_tiny_memory(self):
+        # 1 GiB data, 4 MiB memory: 256 runs, fan-in 4 -> several passes
+        passes = out_of_core_passes(1 << 30, 4 << 20)
+        assert passes >= 3
+
+    def test_cost_scales_with_passes(self):
+        ssd = Ssd(Simulator())
+        one, p1 = out_of_core_sort_cost_ns(ssd, 4 << 30, 1 << 30)
+        multi, p2 = out_of_core_sort_cost_ns(ssd, 1 << 30, 4 << 20)
+        assert p2 > p1
+        assert one / p1 == pytest.approx(
+            ssd.read_cost_ns(4 << 30) + ssd.write_cost_ns(4 << 30)
+        )
+
+    def test_more_memory_never_more_passes(self):
+        data = 8 << 30
+        passes = [
+            out_of_core_passes(data, mem)
+            for mem in (64 << 20, 256 << 20, 1 << 30, 8 << 30)
+        ]
+        assert passes == sorted(passes, reverse=True)
+        assert passes[-1] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            out_of_core_passes(0, 100)
+        with pytest.raises(ValueError):
+            out_of_core_passes(100, 0)

@@ -1,0 +1,86 @@
+"""Unit tests for progressive address translation."""
+
+import pytest
+
+from repro.memory import (
+    ProgressiveTranslator,
+    TranslationStep,
+    build_hierarchy_translator,
+)
+
+
+def test_step_match_and_apply():
+    s = TranslationStep("l0", window_base=0x1000, window_size=0x1000, target_base=0x8000)
+    assert s.matches(0x1800)
+    assert not s.matches(0x800)
+    assert s.apply(0x1800) == 0x8800
+    with pytest.raises(ValueError):
+        s.apply(0x100)
+
+
+def test_step_validation():
+    with pytest.raises(ValueError):
+        TranslationStep("bad", 0, 0, 0)
+    with pytest.raises(ValueError):
+        TranslationStep("bad", -1, 10, 0)
+
+
+def test_local_address_passes_untranslated():
+    tr = build_hierarchy_translator(levels=3, window_bits=20)
+    addr = 0x100  # below every window
+    final, lat, applied = tr.translate(addr)
+    assert final == addr
+    assert lat == 0.0
+    assert applied == []
+
+
+def test_full_depth_translation():
+    tr = build_hierarchy_translator(levels=3, window_bits=20, latency_per_level_ns=5.0)
+    window = 1 << 20
+    addr = 3 * window + 0x42  # aliased at the top level
+    final, lat, applied = tr.translate(addr)
+    assert final == 0x42
+    assert lat == pytest.approx(15.0)
+    assert applied == ["level0", "level1", "level2"]
+
+
+def test_partial_depth_translation():
+    tr = build_hierarchy_translator(levels=3, window_bits=20, latency_per_level_ns=5.0)
+    window = 1 << 20
+    addr = window + 0x7
+    final, lat, applied = tr.translate(addr)
+    assert final == 0x7
+    assert lat == pytest.approx(5.0)
+    assert len(applied) == 1
+
+
+def test_mean_steps_statistic():
+    tr = build_hierarchy_translator(levels=2, window_bits=20)
+    window = 1 << 20
+    tr.translate(0x0)           # 0 steps
+    tr.translate(2 * window)    # 2 steps
+    assert tr.mean_steps_per_translation == pytest.approx(1.0)
+
+
+def test_negative_address_rejected():
+    tr = ProgressiveTranslator()
+    with pytest.raises(ValueError):
+        tr.translate(-1)
+
+
+def test_build_validation():
+    with pytest.raises(ValueError):
+        build_hierarchy_translator(levels=0)
+
+
+def test_latency_grows_with_depth():
+    """The deeper the hierarchy, the costlier a top-level remote access --
+    the hop-count argument of the paper's Section 2."""
+    costs = []
+    for levels in (1, 2, 4, 7):
+        tr = build_hierarchy_translator(levels=levels, window_bits=20)
+        addr = levels * (1 << 20)
+        _, lat, _ = tr.translate(addr)
+        costs.append(lat)
+    assert costs == sorted(costs)
+    assert costs[-1] > costs[0]

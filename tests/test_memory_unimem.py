@@ -1,0 +1,160 @@
+"""Unit + property tests for UNIMEM space and the page registry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import (
+    PAGE_SIZE,
+    AddressRange,
+    PageOwnershipError,
+    PageRegistry,
+    UnimemSpace,
+)
+
+WINDOW = 256 * PAGE_SIZE  # 1 MiB windows keep tests fast
+
+
+class TestPageRegistry:
+    def test_default_home_is_backing_worker(self):
+        reg = PageRegistry()
+        assert reg.cacheable_home(5, backing_worker=2) == 2
+
+    def test_may_cache_only_home(self):
+        reg = PageRegistry()
+        assert reg.may_cache(0, 1, node=1)
+        assert not reg.may_cache(0, 1, node=0)
+
+    def test_move_home(self):
+        reg = PageRegistry()
+        reg.move_home(0, backing_worker=0, new_home=3)
+        assert reg.cacheable_home(0, 0) == 3
+        assert not reg.may_cache(0, 0, node=0)
+        assert reg.home_moves == 1
+
+    def test_move_home_noop_if_same(self):
+        reg = PageRegistry()
+        reg.move_home(0, 0, 0)
+        assert reg.home_moves == 0
+
+    def test_move_dirty_page_flushes(self):
+        reg = PageRegistry()
+        reg.record_access(0, 0, node=0, is_write=True)
+        reg.move_home(0, 0, new_home=1)
+        assert reg.flushes == 1
+        assert not reg.lookup(0).dirty
+
+    def test_record_access_tracks_remote_accessors(self):
+        reg = PageRegistry()
+        assert reg.record_access(0, 0, node=0, is_write=False) is True
+        assert reg.record_access(0, 0, node=1, is_write=False) is False
+        assert reg.record_access(0, 0, node=2, is_write=True) is False
+        assert reg.pages_with_remote_traffic() == {0: 2}
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 7),   # page
+                st.integers(0, 3),   # node
+                st.booleans(),       # write
+                st.booleans(),       # move home to this node first
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50)
+    def test_single_cacheable_owner_invariant(self, ops):
+        """At every step, at most one node is permitted to cache a page."""
+        reg = PageRegistry()
+        for page, node, write, move in ops:
+            if move:
+                reg.move_home(page, backing_worker=0, new_home=node)
+            reg.record_access(page, 0, node, write)
+            # the invariant: exactly one home; all cache permissions agree
+            home = reg.cacheable_home(page, 0)
+            allowed = [n for n in range(4) if reg.may_cache(page, 0, n)]
+            assert allowed == [home]
+
+
+class TestUnimemSpace:
+    def test_local_access_plan(self):
+        u = UnimemSpace(4, WINDOW)
+        plan = u.plan_access(0, AddressRange(0x100, 64), is_write=False)
+        assert plan.is_local
+        assert plan.remote_bytes == 0
+        assert plan.chunks[0][2] is True  # cacheable at home
+
+    def test_remote_access_not_cacheable(self):
+        u = UnimemSpace(4, WINDOW)
+        addr = u.map.global_address(2, 0)
+        plan = u.plan_access(0, AddressRange(addr, 64), is_write=False)
+        assert not plan.is_local
+        assert plan.remote_bytes == 64
+        assert plan.chunks[0][2] is False  # node 0 may not cache worker 2's page
+
+    def test_access_spanning_workers(self):
+        u = UnimemSpace(4, WINDOW)
+        rng = AddressRange(WINDOW - 32, 64)
+        plan = u.plan_access(0, rng, is_write=True)
+        workers = [w for w, _, __ in plan.chunks]
+        assert workers == [0, 1]
+        assert plan.remote_bytes == 32
+
+    def test_rehome_makes_remote_page_cacheable(self):
+        u = UnimemSpace(4, WINDOW)
+        addr = u.map.global_address(3, 0)
+        u.rehome_range(AddressRange(addr, PAGE_SIZE), new_home=0)
+        plan = u.plan_access(0, AddressRange(addr, 64), is_write=False)
+        assert plan.chunks[0][2] is True
+        # and the backing worker itself may no longer cache it
+        plan3 = u.plan_access(3, AddressRange(addr, 64), is_write=False)
+        assert plan3.chunks[0][2] is False
+
+    def test_rehome_invalid_node(self):
+        u = UnimemSpace(2, WINDOW)
+        with pytest.raises(PageOwnershipError):
+            u.rehome_range(AddressRange(0, PAGE_SIZE), new_home=7)
+
+    def test_out_of_space_rejected(self):
+        u = UnimemSpace(2, WINDOW)
+        with pytest.raises(ValueError):
+            u.plan_access(0, AddressRange(2 * WINDOW - 8, 64), False)
+
+    def test_traffic_summary(self):
+        u = UnimemSpace(2, WINDOW)
+        u.plan_access(0, AddressRange(0, 100), False)
+        u.plan_access(0, AddressRange(WINDOW, 300), False)
+        s = u.traffic_summary()
+        assert s["local_bytes"] == 100
+        assert s["remote_bytes"] == 300
+        assert s["remote_fraction"] == pytest.approx(0.75)
+        assert s["coherence_messages"] == 0.0
+
+    def test_reset_traffic(self):
+        u = UnimemSpace(2, WINDOW)
+        u.plan_access(0, AddressRange(0, 100), False)
+        u.reset_traffic()
+        assert u.traffic_summary()["local_bytes"] == 0
+
+    def test_page_home_lookup(self):
+        u = UnimemSpace(4, WINDOW)
+        addr = u.map.global_address(1, 0)
+        assert u.page_home(addr) == 1
+        u.rehome_range(AddressRange(addr, PAGE_SIZE), 2)
+        assert u.page_home(addr) == 2
+
+    @given(
+        node=st.integers(0, 3),
+        base=st.integers(0, 4 * 256 - 1),
+        pages=st.integers(1, 8),
+    )
+    @settings(max_examples=50)
+    def test_plan_partitions_range_exactly(self, node, base, pages):
+        u = UnimemSpace(4, WINDOW)
+        byte_base = base * PAGE_SIZE
+        size = min(pages * PAGE_SIZE, u.map.total_size - byte_base)
+        if size <= 0:
+            return
+        plan = u.plan_access(node, AddressRange(byte_base, size), False)
+        assert sum(r.size for _, r, __ in plan.chunks) == size
+        local = sum(r.size for w, r, __ in plan.chunks if w == node)
+        assert local + plan.remote_bytes == size

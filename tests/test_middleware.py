@@ -1,0 +1,199 @@
+"""Unit tests for the middleware: PR driver, SW-HW call library, chaining."""
+
+import pytest
+
+from repro.core import Worker, WorkerParams
+from repro.core.middleware import (
+    AcceleratorChain,
+    CallPath,
+    HardwareCallLibrary,
+    PartialReconfigDriver,
+)
+from repro.fabric import ModuleLibrary, RegionState
+from repro.hls import HlsTool, SynthesisConstraints, saxpy_kernel, stencil_kernel
+from repro.sim import Simulator, spawn
+
+
+@pytest.fixture(scope="module")
+def modules():
+    lib = ModuleLibrary()
+    tool = HlsTool()
+    tool.compile(saxpy_kernel(1024), lib, SynthesisConstraints(max_variants=1))
+    tool.compile(stencil_kernel(1024), lib, SynthesisConstraints(max_variants=1))
+    return lib.best_variant("saxpy"), lib.best_variant("stencil5")
+
+
+def run(sim, gen):
+    out = {}
+
+    def proc():
+        out["value"] = yield from gen
+
+    spawn(sim, proc())
+    sim.run()
+    return out.get("value")
+
+
+class TestDriver:
+    def test_ensure_loaded_idempotent(self, modules):
+        saxpy, _ = modules
+        sim = Simulator()
+        w = Worker(sim, 0)
+        drv = PartialReconfigDriver(w)
+        run(sim, drv.ensure_loaded(saxpy))
+        assert w.reconfig.reconfigurations == 1
+        run(sim, drv.ensure_loaded(saxpy))
+        assert w.reconfig.reconfigurations == 1  # no second load
+
+    def test_migration_make_before_break(self, modules):
+        saxpy, _ = modules
+        sim = Simulator()
+        src, dst = Worker(sim, 0), Worker(sim, 1)
+        d_src, d_dst = PartialReconfigDriver(src), PartialReconfigDriver(dst)
+        region = run(sim, src.load_module(saxpy))
+        dest = run(sim, d_src.migrate(region, d_dst))
+        assert dest is not None
+        assert dst.hosted_region("saxpy") is dest
+        assert src.hosted_region("saxpy") is None
+        assert d_src.migrations == 1
+
+    def test_migrate_empty_rejected(self):
+        sim = Simulator()
+        w = Worker(sim, 0)
+        drv = PartialReconfigDriver(w)
+
+        def proc():
+            yield from drv.migrate(w.fabric.regions[0], drv)
+
+        spawn(sim, proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_preempt_and_resume(self, modules):
+        saxpy, _ = modules
+        sim = Simulator()
+        w = Worker(sim, 0, WorkerParams(fabric_regions=1))
+        drv = PartialReconfigDriver(w)
+        region = run(sim, w.load_module(saxpy))
+        name = run(sim, drv.preempt(region))
+        assert name == saxpy.name
+        assert region.state is RegionState.EMPTY
+        assert drv.preempted_modules == [saxpy.name]
+        resumed = run(sim, drv.resume(name))
+        assert resumed is not None
+        assert w.hosted_region("saxpy") is resumed
+        assert drv.preempted_modules == []
+
+    def test_resume_unknown_rejected(self):
+        sim = Simulator()
+        drv = PartialReconfigDriver(Worker(sim, 0))
+
+        def proc():
+            yield from drv.resume("ghost")
+
+        spawn(sim, proc())
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_fragmentation_metric(self, modules):
+        saxpy, _ = modules
+        sim = Simulator()
+        single = PartialReconfigDriver(Worker(sim, 1, WorkerParams(fabric_regions=1)))
+        assert single.fragmentation() == 0.0  # one hole = fully usable
+        w = Worker(sim, 0, WorkerParams(fabric_regions=4))
+        drv = PartialReconfigDriver(w)
+        # four equal free regions: largest hole is a quarter of free space
+        assert drv.fragmentation() == pytest.approx(0.75, abs=0.05)
+        run(sim, w.load_module(saxpy, w.fabric.regions[1]))
+        assert 0.0 <= drv.fragmentation() < 1.0
+
+
+class TestCallLibrary:
+    def test_user_level_cheaper_than_os(self, modules):
+        saxpy, _ = modules
+        sim = Simulator()
+        w = Worker(sim, 0)
+        run(sim, w.load_module(saxpy))
+        lib = HardwareCallLibrary(w)
+        ctx = lib.bind_user_context(64 * 1024)
+        t_user = run(sim, lib.call("saxpy", 256, 64 * 1024, CallPath.USER_LEVEL, ctx))
+        t_os = run(sim, lib.call("saxpy", 256, 64 * 1024, CallPath.OS_MEDIATED))
+        assert t_user < t_os
+        assert lib.user_calls == 1 and lib.os_calls == 1
+
+    def test_os_overhead_scales_with_buffer(self):
+        sim = Simulator()
+        lib = HardwareCallLibrary(Worker(sim, 0))
+        small = lib.call_overhead_ns(CallPath.OS_MEDIATED, 4096)
+        big = lib.call_overhead_ns(CallPath.OS_MEDIATED, 64 * 4096)
+        assert big > small
+
+    def test_user_overhead_flat_in_buffer(self):
+        sim = Simulator()
+        lib = HardwareCallLibrary(Worker(sim, 0))
+        small = lib.call_overhead_ns(CallPath.USER_LEVEL, 4096)
+        big = lib.call_overhead_ns(CallPath.USER_LEVEL, 64 * 4096)
+        assert big == small
+
+    def test_smmu_walks_amortize(self, modules):
+        """First call pays table walks; repeat calls hit the SMMU TLB."""
+        saxpy, _ = modules
+        sim = Simulator()
+        w = Worker(sim, 0)
+        run(sim, w.load_module(saxpy))
+        lib = HardwareCallLibrary(w)
+        ctx = lib.bind_user_context(16 * 4096)
+        t1 = run(sim, lib.call("saxpy", 64, 16 * 4096, CallPath.USER_LEVEL, ctx))
+        t2 = run(sim, lib.call("saxpy", 64, 16 * 4096, CallPath.USER_LEVEL, ctx))
+        assert t2 < t1
+        assert w.smmu.stats.tlb_hits > 0
+
+
+class TestChaining:
+    def make_chain(self, modules, stages):
+        sim = Simulator()
+        w = Worker(sim, 0)
+        saxpy, stencil = modules
+        chain_modules = [saxpy, stencil][:stages] if stages <= 2 else [saxpy, stencil, saxpy]
+        return sim, w, AcceleratorChain(w, chain_modules)
+
+    def test_empty_chain_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            AcceleratorChain(Worker(sim, 0), [])
+
+    def test_chained_saves_dram_traffic(self, modules):
+        _, _, chain = self.make_chain(modules, 3)
+        chained = chain.cost_chained(4096, 8)
+        unchained = chain.cost_unchained(4096, 8)
+        assert chained.dram_bytes == 2 * 4096 * 8
+        assert unchained.dram_bytes == 3 * 2 * 4096 * 8
+        assert chained.energy_pj < unchained.energy_pj
+        assert chained.latency_ns < unchained.latency_ns
+
+    def test_saving_grows_with_chain_length(self, modules):
+        _, _, two = self.make_chain(modules, 2)
+        _, _, three = self.make_chain(modules, 3)
+        s2 = two.cost_unchained(1024, 8).energy_pj - two.cost_chained(1024, 8).energy_pj
+        s3 = three.cost_unchained(1024, 8).energy_pj - three.cost_chained(1024, 8).energy_pj
+        assert s3 > s2
+
+    def test_processing_per_byte_rises(self, modules):
+        _, _, chain = self.make_chain(modules, 3)
+        chained = chain.cost_chained(1024, 8)
+        unchained = chain.cost_unchained(1024, 8)
+        assert chained.ops_per_dram_byte > unchained.ops_per_dram_byte
+
+    def test_run_chained_process(self, modules):
+        sim, w, chain = self.make_chain(modules, 2)
+        cost = run(sim, chain.run_chained(512, 8))
+        assert cost.stages == 2
+        assert sim.now > 0
+        assert w.ledger.total_pj(f"{w.name}.fabric") > 0
+
+    def test_cost_validation(self, modules):
+        _, _, chain = self.make_chain(modules, 2)
+        with pytest.raises(ValueError):
+            chain.cost_chained(0, 8)
+        with pytest.raises(ValueError):
+            chain.cost_unchained(10, 0)

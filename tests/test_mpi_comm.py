@@ -1,0 +1,117 @@
+"""Unit tests for communicators and collectives."""
+
+import math
+
+import pytest
+
+from repro.interconnect import build_flat_crossbar, build_tree
+from repro.mpi import CartTopology, Communicator
+from repro.sim import Simulator
+
+
+def make_comm(n=8, topology="flat"):
+    sim = Simulator()
+    if topology == "flat":
+        net, workers = build_flat_crossbar(sim, n)
+    else:
+        net, workers = build_tree(sim, [2, (n + 1) // 2])
+    return Communicator(net, workers)
+
+
+class TestBasics:
+    def test_size_and_nodes(self):
+        comm = make_comm(4)
+        assert comm.size == 4
+        assert comm.node_of(2) == ("w", 2)
+        with pytest.raises(ValueError):
+            comm.node_of(9)
+
+    def test_empty_rejected(self):
+        sim = Simulator()
+        net, _ = build_flat_crossbar(sim, 2)
+        with pytest.raises(ValueError):
+            Communicator(net, [])
+
+    def test_send_self_free(self):
+        comm = make_comm(4)
+        assert comm.send(1, 1, 100) == (0.0, 0.0)
+
+    def test_send_accounts_traffic(self):
+        comm = make_comm(4)
+        lat, energy = comm.send(0, 1, 1000)
+        assert lat > 0 and energy > 0
+        assert comm.network.total_link_bytes() > 0
+
+    def test_sub_communicator(self):
+        comm = make_comm(8)
+        sub = comm.sub_communicator([0, 2, 4])
+        assert sub.size == 3
+        assert sub.node_of(1) == ("w", 2)
+
+
+class TestCollectives:
+    def test_broadcast_rounds_logarithmic(self):
+        for p in (2, 4, 8, 16):
+            comm = make_comm(p)
+            r = comm.broadcast(0, 1024)
+            assert r.rounds == math.ceil(math.log2(p))
+            assert r.bytes_moved == (p - 1) * 1024
+
+    def test_broadcast_nonzero_root(self):
+        comm = make_comm(5)
+        r = comm.broadcast(3, 64)
+        assert r.bytes_moved == 4 * 64
+
+    def test_allreduce_single_rank_free(self):
+        comm = make_comm(1)
+        r = comm.allreduce(4096)
+        assert r.latency_ns == 0.0 and r.rounds == 0
+
+    def test_allreduce_rounds(self):
+        comm = make_comm(8)
+        r = comm.allreduce(1024)
+        assert r.rounds == 3
+        assert r.bytes_moved == 3 * 8 * 1024  # every rank sends per round
+
+    def test_allgather_doubles_chunks(self):
+        comm = make_comm(4)
+        r = comm.allgather(100)
+        # round 1: 4 msgs x 100, round 2: 4 msgs x 200
+        assert r.bytes_moved == 4 * 100 + 4 * 200
+
+    def test_alltoall_rounds(self):
+        comm = make_comm(4)
+        r = comm.alltoall(256)
+        assert r.rounds == 3
+        assert r.bytes_moved == 3 * 4 * 256
+
+    def test_barrier_moves_no_payload(self):
+        comm = make_comm(8)
+        r = comm.barrier()
+        assert r.bytes_moved == 0
+        assert r.latency_ns > 0  # headers still traverse the network
+
+    def test_collective_log(self):
+        comm = make_comm(4)
+        comm.broadcast(0, 10)
+        comm.allreduce(10)
+        assert [c.name for c in comm.collective_log] == ["broadcast", "allreduce"]
+
+    def test_halo_exchange_on_cart(self):
+        comm = make_comm(4)
+        cart = CartTopology((2, 2))
+        r = comm.halo_exchange(cart, 512)
+        # 4 ranks x 2 neighbours each = 8 messages
+        assert r.bytes_moved == 8 * 512
+        assert r.rounds == 1
+
+    def test_latency_grows_with_scale(self):
+        small = make_comm(4).allreduce(4096).latency_ns
+        large = make_comm(32).allreduce(4096).latency_ns
+        assert large > small
+
+    def test_tree_locality_cheaper_for_neighbours(self):
+        comm = make_comm(8, topology="tree")
+        near_lat, _ = comm.send(0, 1, 4096)   # siblings
+        far_lat, _ = comm.send(0, 7, 4096)    # cross-tree
+        assert near_lat < far_lat

@@ -1,0 +1,97 @@
+"""Unit tests for topology-aware rank placement."""
+
+import pytest
+
+from repro.interconnect import build_tree
+from repro.mpi import (
+    CartTopology,
+    GraphTopology,
+    improve_by_swaps,
+    place_by_blocks,
+    place_round_robin,
+    placement_cost,
+)
+from repro.sim import Simulator
+
+
+def machine(fanouts=(4, 4)):
+    sim = Simulator()
+    return build_tree(sim, list(fanouts))
+
+
+class TestPlacements:
+    def test_block_maps_consecutively(self):
+        _, workers = machine()
+        m = place_by_blocks(32, workers)
+        assert m[0] == workers[0]
+        assert m[31] == workers[15]
+
+    def test_round_robin(self):
+        _, workers = machine()
+        m = place_round_robin(20, workers)
+        assert m[0] == workers[0]
+        assert m[16] == workers[0]
+
+    def test_validation(self):
+        _, workers = machine()
+        with pytest.raises(ValueError):
+            place_by_blocks(0, workers)
+        with pytest.raises(ValueError):
+            place_by_blocks(4, [])
+        with pytest.raises(ValueError):
+            place_round_robin(4, [])
+
+
+class TestPlacementCost:
+    def test_colocated_neighbours_free(self):
+        net, workers = machine()
+        topo = CartTopology((2, 2))
+        mapping = {r: workers[0] for r in range(4)}
+        assert placement_cost(topo, mapping, net) == 0.0
+
+    def test_block_beats_round_robin_for_cart(self):
+        net, workers = machine()
+        topo = CartTopology((8, 8))
+        block = placement_cost(topo, place_by_blocks(64, workers), net)
+        rr = placement_cost(topo, place_round_robin(64, workers), net)
+        assert block < rr
+
+    def test_cost_counts_each_edge_once(self):
+        net, workers = machine((2,))
+        topo = GraphTopology({0: [1], 1: [0]})
+        mapping = {0: workers[0], 1: workers[1]}
+        cost = placement_cost(topo, mapping, net, bytes_per_edge=10)
+        assert cost == net.hop_distance(workers[0], workers[1]) * 10
+
+
+class TestSwapRefinement:
+    def test_improves_bad_placement(self):
+        net, workers = machine()
+        topo = CartTopology((4, 4))
+        # adversarial start: reversed block placement scattered by stride
+        bad = {r: workers[(r * 7) % 16] for r in range(16)}
+        before = placement_cost(topo, bad, net)
+        better = improve_by_swaps(topo, bad, net)
+        after = placement_cost(topo, better, net)
+        assert after <= before
+
+    def test_cannot_beat_optimal(self):
+        net, workers = machine((4,))
+        topo = CartTopology((1, 4))
+        optimal = {r: workers[r] for r in range(4)}
+        refined = improve_by_swaps(topo, optimal, net)
+        assert placement_cost(topo, refined, net) == placement_cost(topo, optimal, net)
+
+    def test_preserves_rank_set(self):
+        net, workers = machine()
+        topo = CartTopology((4, 4))
+        mapping = place_round_robin(16, workers)
+        refined = improve_by_swaps(topo, mapping, net)
+        assert sorted(refined) == sorted(mapping)
+        assert sorted(map(str, refined.values())) == sorted(map(str, mapping.values()))
+
+    def test_validation(self):
+        net, workers = machine((2,))
+        topo = CartTopology((1, 2))
+        with pytest.raises(ValueError):
+            improve_by_swaps(topo, {0: workers[0], 1: workers[1]}, net, max_passes=0)

@@ -1,0 +1,80 @@
+"""Unit tests for MPI process topologies."""
+
+import pytest
+
+from repro.mpi import CartTopology, GraphTopology
+
+
+class TestCart:
+    def test_size_and_roundtrip(self):
+        t = CartTopology((3, 4))
+        assert t.size == 12
+        for rank in range(12):
+            assert t.rank(t.coords(rank)) == rank
+
+    def test_row_major_order(self):
+        t = CartTopology((2, 3))
+        assert t.coords(0) == (0, 0)
+        assert t.coords(1) == (0, 1)
+        assert t.coords(3) == (1, 0)
+
+    def test_shift_open_boundary(self):
+        t = CartTopology((1, 4))
+        left, right = t.shift(0, dimension=1)
+        assert left is None
+        assert right == 1
+        left, right = t.shift(3, dimension=1)
+        assert left == 2
+        assert right is None
+
+    def test_shift_periodic(self):
+        t = CartTopology((1, 4), periodic=(False, True))
+        left, right = t.shift(0, dimension=1)
+        assert left == 3
+        assert right == 1
+
+    def test_neighbours_interior(self):
+        t = CartTopology((3, 3))
+        assert t.neighbours(4) == [1, 3, 5, 7]
+
+    def test_neighbours_corner(self):
+        t = CartTopology((3, 3))
+        assert t.neighbours(0) == [1, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CartTopology(())
+        with pytest.raises(ValueError):
+            CartTopology((0, 2))
+        with pytest.raises(ValueError):
+            CartTopology((2, 2), periodic=(True,))
+        t = CartTopology((2, 2))
+        with pytest.raises(ValueError):
+            t.coords(4)
+        with pytest.raises(ValueError):
+            t.rank((0,))
+        with pytest.raises(ValueError):
+            t.rank((5, 0))
+        with pytest.raises(ValueError):
+            t.shift(0, 5)
+
+
+class TestGraph:
+    def test_neighbours(self):
+        g = GraphTopology({0: [1, 2], 1: [0], 2: [0]})
+        assert g.size == 3
+        assert g.neighbours(0) == [1, 2]
+        assert g.degree(0) == 2
+
+    def test_edges_deduplicated(self):
+        g = GraphTopology({0: [1], 1: [0]})
+        assert g.edges() == [(0, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphTopology({})
+        with pytest.raises(ValueError):
+            GraphTopology({0: [7]})
+        g = GraphTopology({0: []})
+        with pytest.raises(ValueError):
+            g.neighbours(9)

@@ -1,0 +1,66 @@
+"""Tests for online model retraining during an engine run (the §4.2
+actuation loop wired into the scheduler)."""
+
+import pytest
+
+from repro.apps import make_layered_dag
+from repro.core import ComputeNode, ComputeNodeParams, FunctionRegistry
+from repro.core.runtime import DeviceSelector, ExecutionEngine
+from repro.fabric import ModuleLibrary
+from repro.hls import HlsTool, SynthesisConstraints, montecarlo_kernel, saxpy_kernel
+from repro.sim import Simulator
+
+FUNCTIONS = ("saxpy", "montecarlo")
+
+
+def build(selector=None, retrain_every=0):
+    sim = Simulator()
+    node = ComputeNode(sim, ComputeNodeParams(num_workers=4))
+    registry = FunctionRegistry()
+    library = ModuleLibrary()
+    tool = HlsTool()
+    for k in (saxpy_kernel(1024), montecarlo_kernel(1024, 8)):
+        registry.register(k)
+        tool.compile(k, library, SynthesisConstraints(max_variants=1))
+    engine = ExecutionEngine(
+        node, registry, library,
+        use_daemon=True, daemon_period_ns=50_000.0,
+        selector=selector, retrain_every=retrain_every,
+    )
+    return engine
+
+
+def test_selector_trained_during_run():
+    selector = DeviceSelector(min_samples=4)
+    engine = build(selector=selector, retrain_every=8)
+    graph = make_layered_dag(10, 10, 4, functions=FUNCTIONS, seed=23)
+    report = engine.run_graph(graph)
+    assert report.tasks == 100
+    # by run end the selector has models for the hot functions
+    counts = selector.sample_counts("saxpy")
+    assert counts["sw"] + counts["hw"] > 0
+    # and its predictions are live (not None) for at least one device
+    assert any(
+        selector.predict_latency("saxpy", d, 1000) is not None
+        for d in ("sw", "hw")
+    )
+
+
+def test_trained_selector_steers_decisions():
+    """Once trained, the scheduler consults the selector; its decisions
+    appear as the hw/sw mix."""
+    selector = DeviceSelector(min_samples=4)
+    engine = build(selector=selector, retrain_every=4)
+    graph = make_layered_dag(12, 10, 4, functions=FUNCTIONS, seed=29)
+    report = engine.run_graph(graph)
+    assert report.hw_calls > 0  # hardware got used under model guidance
+    # decisions recorded in history match the report
+    hw_records = engine.history.records(device="hw")
+    assert len(hw_records) == report.hw_calls
+
+
+def test_no_selector_still_works():
+    engine = build(selector=None)
+    graph = make_layered_dag(4, 6, 4, functions=FUNCTIONS, seed=31)
+    report = engine.run_graph(graph)
+    assert report.tasks == 24

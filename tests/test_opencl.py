@@ -1,0 +1,313 @@
+"""Unit + integration tests for the OpenCL-style programming layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeNode, ComputeNodeParams
+from repro.hls import saxpy_kernel, vecadd_kernel
+from repro.opencl import (
+    CommandQueue,
+    Context,
+    DataScope,
+    DeviceType,
+    DistributedCommandQueue,
+    Platform,
+    Program,
+)
+from repro.sim import Simulator
+
+
+def make_platform(workers=4):
+    sim = Simulator()
+    node = ComputeNode(sim, ComputeNodeParams(num_workers=workers))
+    return Platform(node)
+
+
+def vecadd_program(n=1024):
+    prog = Program([vecadd_kernel(n), saxpy_kernel(n)])
+
+    def vecadd_impl(a, b, c):
+        c.array[:] = a.array + b.array
+
+    prog.set_host_impl("vecadd", vecadd_impl)
+    return prog
+
+
+class TestPlatformDevices:
+    def test_two_devices_per_worker(self):
+        plat = make_platform(4)
+        assert len(plat.devices()) == 8
+        assert len(plat.devices(DeviceType.CPU)) == 4
+        assert len(plat.devices(DeviceType.FPGA)) == 4
+
+    def test_device_lookup(self):
+        plat = make_platform(2)
+        d = plat.device(1, DeviceType.FPGA)
+        assert d.worker_id == 1
+        with pytest.raises(KeyError):
+            plat.device(9, DeviceType.CPU)
+
+    def test_compute_units(self):
+        plat = make_platform(1)
+        assert plat.device(0, DeviceType.CPU).compute_units == 4
+        assert plat.device(0, DeviceType.FPGA).compute_units == 2
+
+
+class TestContextBuffers:
+    def test_buffer_allocation_and_home(self):
+        ctx = Context(make_platform(4))
+        buf = ctx.create_buffer(4096, affinity_worker=2, dtype=np.float32)
+        assert buf.home_worker == 2
+        assert buf.cacheable_owner == 2
+        assert len(buf) == 1024
+
+    def test_buffer_validation(self):
+        ctx = Context(make_platform(2))
+        with pytest.raises(ValueError):
+            ctx.create_buffer(0)
+        with pytest.raises(ValueError):
+            ctx.create_buffer(5, dtype=np.float32)  # not multiple of 4
+
+    def test_migrate_moves_cacheable_owner(self):
+        ctx = Context(make_platform(4))
+        buf = ctx.create_buffer(8192, affinity_worker=0)
+        assert buf.cacheable_owner == 0
+        pages = buf.migrate(3)
+        assert pages == 2
+        assert buf.cacheable_owner == 3
+        assert buf.home_worker == 0  # backing DRAM does not move
+
+    def test_release_all(self):
+        plat = make_platform(2)
+        ctx = Context(plat)
+        ctx.create_buffer(4096)
+        free_before = plat.node.allocator.free_bytes()
+        ctx.release_all()
+        assert plat.node.allocator.free_bytes() > free_before
+
+    def test_empty_context_rejected(self):
+        with pytest.raises(ValueError):
+            Context(make_platform(1), devices=[])
+
+
+class TestProgram:
+    def test_kernel_handles(self):
+        prog = vecadd_program()
+        k = prog.kernel("vecadd")
+        assert k.kernel_ir.name == "vecadd"
+        with pytest.raises(KeyError):
+            prog.kernel("nope")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            Program([])
+
+    def test_enable_acceleration(self):
+        prog = vecadd_program()
+        n = prog.enable_acceleration("vecadd")
+        assert n >= 1
+        assert prog.is_accelerated("vecadd")
+        # idempotent
+        assert prog.enable_acceleration("vecadd") == n
+
+    def test_host_impl_registration(self):
+        prog = vecadd_program()
+        assert prog.host_impl("vecadd") is not None
+        assert prog.host_impl("saxpy") is None
+        with pytest.raises(KeyError):
+            prog.set_host_impl("missing", lambda: None)
+
+
+class TestCommandQueue:
+    def test_nd_range_on_cpu_computes_and_times(self):
+        plat = make_platform(2)
+        ctx = Context(plat)
+        prog = vecadd_program(1024)
+        a = ctx.create_buffer(4096, affinity_worker=0, dtype=np.float32)
+        b = ctx.create_buffer(4096, affinity_worker=0, dtype=np.float32)
+        c = ctx.create_buffer(4096, affinity_worker=0, dtype=np.float32)
+        a.array[:] = 1.5
+        b.array[:] = 2.5
+        q = CommandQueue(ctx, plat.device(0, DeviceType.CPU))
+        ev = q.enqueue_nd_range(prog.kernel("vecadd").set_args(a, b, c), 1024)
+        q.finish()
+        assert ev.complete
+        assert ev.result["device"] == "cpu"
+        assert ev.duration_ns > 0
+        np.testing.assert_allclose(c.array, 4.0)
+
+    def test_nd_range_on_fpga_loads_on_demand(self):
+        plat = make_platform(2)
+        ctx = Context(plat)
+        prog = vecadd_program(1024)
+        prog.enable_acceleration("vecadd")
+        a = ctx.create_buffer(4096, dtype=np.float32)
+        b = ctx.create_buffer(4096, dtype=np.float32)
+        c = ctx.create_buffer(4096, dtype=np.float32)
+        q = CommandQueue(ctx, plat.device(0, DeviceType.FPGA))
+        ev = q.enqueue_nd_range(prog.kernel("vecadd").set_args(a, b, c), 1024)
+        q.finish()
+        assert ev.result["device"] == "fpga"
+        worker = plat.node.worker(0)
+        assert worker.hosted_region("vecadd") is not None
+        assert worker.reconfig.reconfigurations == 1
+        # second call reuses the loaded module
+        q.enqueue_nd_range(prog.kernel("vecadd").set_args(a, b, c), 1024)
+        q.finish()
+        assert worker.reconfig.reconfigurations == 1
+
+    def test_fpga_without_acceleration_fails(self):
+        plat = make_platform(1)
+        ctx = Context(plat)
+        prog = vecadd_program(64)
+        a = ctx.create_buffer(256, dtype=np.float32)
+        q = CommandQueue(ctx, plat.device(0, DeviceType.FPGA))
+        ev = q.enqueue_nd_range(prog.kernel("vecadd").set_args(a, a, a), 64)
+        with pytest.raises(LookupError):
+            q.finish()
+
+    def test_in_order_semantics(self):
+        plat = make_platform(1)
+        ctx = Context(plat)
+        prog = vecadd_program(512)
+        bufs = [ctx.create_buffer(2048, dtype=np.float32) for _ in range(3)]
+        q = CommandQueue(ctx, plat.device(0, DeviceType.CPU))
+        e1 = q.enqueue_nd_range(prog.kernel("vecadd").set_args(*bufs), 512)
+        e2 = q.enqueue_nd_range(prog.kernel("vecadd").set_args(*bufs), 512)
+        q.finish()
+        assert e2.started_at >= e1.ended_at
+
+    def test_write_read_roundtrip(self):
+        plat = make_platform(1)
+        ctx = Context(plat)
+        buf = ctx.create_buffer(1024, dtype=np.float32)
+        data = np.arange(256, dtype=np.float32)
+        q = CommandQueue(ctx, plat.device(0, DeviceType.CPU))
+        q.enqueue_write(buf, data)
+        ev = q.enqueue_read(buf)
+        q.finish()
+        np.testing.assert_array_equal(ev.result, data)
+
+    def test_write_size_mismatch(self):
+        plat = make_platform(1)
+        ctx = Context(plat)
+        buf = ctx.create_buffer(1024, dtype=np.float32)
+        q = CommandQueue(ctx, plat.device(0, DeviceType.CPU))
+        with pytest.raises(ValueError):
+            q.enqueue_write(buf, np.zeros(10, dtype=np.float32))
+
+    def test_copy_between_partitions_direct(self):
+        """Extension #2: the copy crosses the NoC, not the host bridge."""
+        plat = make_platform(4)
+        ctx = Context(plat)
+        src = ctx.create_buffer(8192, affinity_worker=0, dtype=np.float32)
+        dst = ctx.create_buffer(8192, affinity_worker=3, dtype=np.float32)
+        src.array[:] = 7.0
+        q = CommandQueue(ctx, plat.device(0, DeviceType.CPU))
+        q.enqueue_copy(src, dst)
+        q.finish()
+        np.testing.assert_allclose(dst.array, 7.0)
+        assert plat.node.network.total_link_bytes() > 0
+
+    def test_migrate_command(self):
+        plat = make_platform(4)
+        ctx = Context(plat)
+        buf = ctx.create_buffer(8192, affinity_worker=0)
+        q = CommandQueue(ctx, plat.device(0, DeviceType.CPU))
+        ev = q.enqueue_migrate(buf, 2)
+        q.finish()
+        assert ev.result == 2  # pages moved
+        assert buf.cacheable_owner == 2
+
+    def test_pgas_scope_remote_access_vs_device_copy(self):
+        """PARTITION buffers are touched in place via UNIMEM;
+        DEVICE buffers are copied over."""
+        plat = make_platform(2)
+        ctx = Context(plat)
+        prog = vecadd_program(256)
+        remote = ctx.create_buffer(
+            1024, scope=DataScope.PARTITION, affinity_worker=1, dtype=np.float32
+        )
+        q = CommandQueue(ctx, plat.device(0, DeviceType.CPU))
+        q.enqueue_nd_range(prog.kernel("vecadd").set_args(remote, remote, remote), 256)
+        q.finish()
+        assert plat.node.unimem.remote_bytes > 0
+
+    def test_event_profiling_fields(self):
+        plat = make_platform(1)
+        ctx = Context(plat)
+        buf = ctx.create_buffer(1024, dtype=np.float32)
+        q = CommandQueue(ctx, plat.device(0, DeviceType.CPU))
+        ev = q.enqueue_read(buf)
+        assert ev.queue_delay_ns is None
+        q.finish()
+        assert ev.queue_delay_ns >= 0
+        assert ev.duration_ns > 0
+
+    def test_marker(self):
+        plat = make_platform(1)
+        ctx = Context(plat)
+        q = CommandQueue(ctx, plat.device(0, DeviceType.CPU))
+        ev = q.enqueue_marker()
+        q.finish()
+        assert ev.complete
+
+    def test_foreign_device_rejected(self):
+        plat_a, plat_b = make_platform(1), make_platform(1)
+        ctx = Context(plat_a)
+        with pytest.raises(ValueError):
+            CommandQueue(ctx, plat_b.devices()[0])
+
+
+class TestDistributedQueue:
+    def test_routes_to_data_home(self):
+        plat = make_platform(4)
+        ctx = Context(plat)
+        prog = vecadd_program(512)
+        q = DistributedCommandQueue(ctx)
+        events = []
+        for w in range(4):
+            buf = ctx.create_buffer(2048, affinity_worker=w, dtype=np.float32)
+            events.append(
+                q.enqueue_nd_range(prog.kernel("vecadd").set_args(buf, buf, buf), 512)
+            )
+        q.finish()
+        assert sorted(e.result["worker"] for e in events) == [0, 1, 2, 3]
+
+    def test_accelerated_kernels_route_to_fpga_when_faster(self):
+        plat = make_platform(2)
+        ctx = Context(plat)
+        from repro.hls import montecarlo_kernel
+
+        prog = Program([montecarlo_kernel(4096, 8)])
+        prog.enable_acceleration("montecarlo")
+        buf = ctx.create_buffer(16384, affinity_worker=0, dtype=np.float32)
+        q = DistributedCommandQueue(ctx)
+        ev = q.enqueue_nd_range(prog.kernel("montecarlo").set_args(buf), 100_000)
+        q.finish()
+        assert ev.result["device"] == "fpga"
+        assert q.routed_to_fpga == 1
+
+    def test_parallel_queues_overlap(self):
+        """Work routed to different Workers runs concurrently -- the whole
+        point of distributed queues."""
+        plat = make_platform(4)
+        ctx = Context(plat)
+        prog = vecadd_program(4096)
+        q = DistributedCommandQueue(ctx)
+        events = []
+        for w in range(4):
+            buf = ctx.create_buffer(16384, affinity_worker=w, dtype=np.float32)
+            events.append(
+                q.enqueue_nd_range(prog.kernel("vecadd").set_args(buf, buf, buf), 4096)
+            )
+        q.finish()
+        makespan = max(e.ended_at for e in events)
+        total_busy = sum(e.duration_ns for e in events)
+        assert makespan < 0.75 * total_busy  # substantial overlap
+
+    def test_queue_lookup_validation(self):
+        plat = make_platform(1)
+        q = DistributedCommandQueue(Context(plat))
+        with pytest.raises(KeyError):
+            q.queue_for(5, DeviceType.CPU)

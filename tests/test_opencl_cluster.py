@@ -1,0 +1,112 @@
+"""Unit tests for cluster-scope (NODE_GLOBAL) buffers."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeNodeParams, Machine, MachineParams
+from repro.opencl import ClusterContext, DataScope
+from repro.sim import Simulator
+
+
+def make_cluster(nodes=4, workers=2):
+    machine = Machine(
+        Simulator(),
+        MachineParams(
+            num_nodes=nodes, node=ComputeNodeParams(num_workers=workers)
+        ),
+    )
+    return machine, ClusterContext(machine)
+
+
+class TestClusterContext:
+    def test_one_context_per_node(self):
+        machine, cluster = make_cluster(3)
+        assert len(cluster) == 3
+        assert cluster.context(2).platform.node is machine.node(2)
+        with pytest.raises(IndexError):
+            cluster.context(9)
+
+    def test_create_buffer_node_global_scope(self):
+        _, cluster = make_cluster()
+        buf = cluster.create_buffer(1, 4096, dtype=np.float32)
+        assert buf.scope is DataScope.NODE_GLOBAL
+        assert cluster.node_of(buf) == 1
+
+    def test_node_of_foreign_buffer_rejected(self):
+        _, a = make_cluster()
+        _, b = make_cluster()
+        buf = a.create_buffer(0, 1024)
+        with pytest.raises(ValueError):
+            b.node_of(buf)
+
+
+class TestClusterCopy:
+    def test_cross_node_copy_moves_data_and_costs_mpi(self):
+        machine, cluster = make_cluster()
+        src = cluster.create_buffer(0, 4096, dtype=np.float32)
+        dst = cluster.create_buffer(3, 4096, dtype=np.float32)
+        src.array[:] = 42.0
+        lat, energy = cluster.copy(src, dst)
+        np.testing.assert_allclose(dst.array, 42.0)
+        assert lat > 0 and energy > 0
+        assert cluster.inter_node_transfers == 1
+        assert machine.ledger.total_pj("cluster.mpi") > 0
+
+    def test_same_node_copy_stays_on_noc(self):
+        machine, cluster = make_cluster()
+        src = cluster.create_buffer(0, 4096, affinity_worker=0, dtype=np.float32)
+        dst = cluster.create_buffer(0, 4096, affinity_worker=1, dtype=np.float32)
+        lat, _ = cluster.copy(src, dst)
+        assert cluster.inter_node_transfers == 0  # never left the node
+        assert lat > 0
+
+    def test_cross_node_costlier_than_intra_node(self):
+        _, cluster = make_cluster()
+        a0 = cluster.create_buffer(0, 8192, 0, dtype=np.float32)
+        a1 = cluster.create_buffer(0, 8192, 1, dtype=np.float32)
+        b = cluster.create_buffer(3, 8192, 0, dtype=np.float32)
+        intra, _ = cluster.copy(a0, a1)
+        inter, _ = cluster.copy(a0, b)
+        assert inter > intra  # the hierarchy's cost cliff
+
+    def test_size_mismatch_rejected(self):
+        _, cluster = make_cluster()
+        a = cluster.create_buffer(0, 1024)
+        b = cluster.create_buffer(1, 2048)
+        with pytest.raises(ValueError):
+            cluster.copy(a, b)
+
+
+class TestClusterCollectives:
+    def test_broadcast_replicates_everywhere(self):
+        _, cluster = make_cluster(4)
+        src = cluster.create_buffer(1, 1024, dtype=np.float32)
+        src.array[:] = 7.0
+        replicas, result = cluster.broadcast(src)
+        assert len(replicas) == 4
+        assert replicas[1] is src
+        for i, rep in enumerate(replicas):
+            np.testing.assert_allclose(rep.array, 7.0)
+            assert cluster.node_of(rep) == i
+        assert result.rounds == 2  # binomial over 4 nodes
+        assert result.bytes_moved == 3 * 1024
+
+    def test_gather_sum(self):
+        _, cluster = make_cluster(3)
+        parts = []
+        for n in range(3):
+            buf = cluster.create_buffer(n, 1024, dtype=np.float32)
+            buf.array[:] = float(n + 1)
+            parts.append(buf)
+        total, result = cluster.gather_sum(parts)
+        np.testing.assert_allclose(total, 6.0)
+        assert result.name == "allreduce"
+
+    def test_gather_sum_validation(self):
+        _, cluster = make_cluster(2)
+        with pytest.raises(ValueError):
+            cluster.gather_sum([])
+        a = cluster.create_buffer(0, 1024, dtype=np.float32)
+        b = cluster.create_buffer(1, 2048, dtype=np.float32)
+        with pytest.raises(ValueError):
+            cluster.gather_sum([a, b])

@@ -1,0 +1,48 @@
+"""Unit tests for Program.from_source (OpenCL C -> Program)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeNode, ComputeNodeParams
+from repro.hls.frontend import ParseError
+from repro.opencl import CommandQueue, Context, DeviceType, Platform, Program
+from repro.sim import Simulator
+
+VECSCALE_SRC = """
+__kernel void vecscale(const float alpha, __global float* data) {
+    int i = get_global_id(0);
+    data[i] = alpha * data[i];
+}
+"""
+
+
+def test_from_source_builds_registry():
+    prog = Program.from_source([VECSCALE_SRC], global_size=256)
+    assert prog.functions() == ["vecscale"]
+    ir = prog.registry.kernel("vecscale")
+    assert ir.inner_trip == 256
+    assert ir.array("data").writes_per_iter == 1
+
+
+def test_from_source_invalid_rejected():
+    with pytest.raises(ParseError):
+        Program.from_source(["not a kernel"], 16)
+    with pytest.raises(ParseError):
+        Program.from_source([VECSCALE_SRC], 0)
+
+
+def test_from_source_runs_end_to_end():
+    prog = Program.from_source([VECSCALE_SRC], global_size=256)
+    prog.set_host_impl(
+        "vecscale", lambda alpha, data: data.array.__imul__(alpha)
+    )
+    prog.enable_acceleration("vecscale")
+    plat = Platform(ComputeNode(Simulator(), ComputeNodeParams(num_workers=1)))
+    ctx = Context(plat)
+    buf = ctx.create_buffer(1024, dtype=np.float32)
+    buf.array[:] = 2.0
+    q = CommandQueue(ctx, plat.device(0, DeviceType.FPGA))
+    ev = q.enqueue_nd_range(prog.kernel("vecscale").set_args(3.0, buf), 256)
+    q.finish()
+    assert ev.result["device"] == "fpga"
+    np.testing.assert_allclose(buf.array, 6.0)

@@ -1,0 +1,72 @@
+"""Unit tests for out-of-order command queues and barriers."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeNode, ComputeNodeParams
+from repro.hls import vecadd_kernel
+from repro.opencl import CommandQueue, Context, DeviceType, Platform, Program
+from repro.sim import Simulator
+
+
+def setup(workers=1):
+    plat = Platform(ComputeNode(Simulator(), ComputeNodeParams(num_workers=workers)))
+    ctx = Context(plat)
+    prog = Program([vecadd_kernel(1024)])
+    prog.set_host_impl(
+        "vecadd", lambda a, b, c: c.array.__setitem__(slice(None), a.array + b.array)
+    )
+    return plat, ctx, prog
+
+
+def test_out_of_order_overlaps_independent_commands():
+    """Two ND-ranges with no dependency overlap on a multicore CPU device;
+    on the in-order queue they serialize."""
+    plat, ctx, prog = setup()
+    bufs = [ctx.create_buffer(4096, dtype=np.float32) for _ in range(3)]
+    bufs2 = [ctx.create_buffer(4096, dtype=np.float32) for _ in range(3)]
+
+    ooo = CommandQueue(ctx, plat.device(0, DeviceType.CPU), in_order=False)
+    e1 = ooo.enqueue_nd_range(prog.kernel("vecadd").set_args(*bufs), 1024)
+    e2 = ooo.enqueue_nd_range(prog.kernel("vecadd").set_args(*bufs2), 1024)
+    ooo.finish()
+    assert e2.started_at < e1.ended_at  # overlapped
+
+    plat2, ctx2, prog2 = setup()
+    bufs = [ctx2.create_buffer(4096, dtype=np.float32) for _ in range(3)]
+    bufs2 = [ctx2.create_buffer(4096, dtype=np.float32) for _ in range(3)]
+    ordered = CommandQueue(ctx2, plat2.device(0, DeviceType.CPU), in_order=True)
+    f1 = ordered.enqueue_nd_range(prog2.kernel("vecadd").set_args(*bufs), 1024)
+    f2 = ordered.enqueue_nd_range(prog2.kernel("vecadd").set_args(*bufs2), 1024)
+    ordered.finish()
+    assert f2.started_at >= f1.ended_at  # serialized
+
+
+def test_out_of_order_respects_explicit_dependencies():
+    plat, ctx, prog = setup()
+    bufs = [ctx.create_buffer(4096, dtype=np.float32) for _ in range(3)]
+    q = CommandQueue(ctx, plat.device(0, DeviceType.CPU), in_order=False)
+    e1 = q.enqueue_nd_range(prog.kernel("vecadd").set_args(*bufs), 1024)
+    e2 = q.enqueue_nd_range(prog.kernel("vecadd").set_args(*bufs), 1024, wait_for=[e1])
+    q.finish()
+    assert e2.started_at >= e1.ended_at
+
+
+def test_barrier_waits_for_all_outstanding():
+    plat, ctx, prog = setup()
+    q = CommandQueue(ctx, plat.device(0, DeviceType.CPU), in_order=False)
+    events = []
+    for _ in range(3):
+        bufs = [ctx.create_buffer(4096, dtype=np.float32) for _ in range(3)]
+        events.append(q.enqueue_nd_range(prog.kernel("vecadd").set_args(*bufs), 1024))
+    barrier = q.enqueue_barrier()
+    q.finish()
+    assert barrier.started_at >= max(e.ended_at for e in events)
+
+
+def test_barrier_on_idle_queue_completes():
+    plat, ctx, _ = setup()
+    q = CommandQueue(ctx, plat.device(0, DeviceType.CPU), in_order=False)
+    ev = q.enqueue_barrier()
+    q.finish()
+    assert ev.complete

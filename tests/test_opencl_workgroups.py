@@ -1,0 +1,76 @@
+"""Tests for work-group parallel ND-range execution on CPU devices."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeNode, ComputeNodeParams, WorkerParams
+from repro.hls import saxpy_kernel
+from repro.opencl import CommandQueue, Context, DeviceType, Platform, Program
+from repro.sim import Simulator
+
+
+def setup(cores=4):
+    node = ComputeNode(
+        Simulator(),
+        ComputeNodeParams(num_workers=1, worker=WorkerParams(cpu_cores=cores)),
+    )
+    plat = Platform(node)
+    ctx = Context(plat)
+    prog = Program([saxpy_kernel(8192)])
+    prog.set_host_impl("saxpy", lambda x, y: y.array.__iadd__(2.0 * x.array))
+    bufs = (
+        ctx.create_buffer(4 * 8192, dtype=np.float32),
+        ctx.create_buffer(4 * 8192, dtype=np.float32),
+    )
+    q = CommandQueue(ctx, plat.device(0, DeviceType.CPU))
+    return plat, prog, bufs, q
+
+
+def run_with_groups(groups):
+    plat, prog, bufs, q = setup()
+    ev = q.enqueue_nd_range(
+        prog.kernel("saxpy").set_args(*bufs), 8192, work_groups=groups
+    )
+    q.finish()
+    return ev.duration_ns
+
+
+def test_work_groups_speed_up_on_multicore():
+    single = run_with_groups(None)
+    quad = run_with_groups(4)
+    assert quad == pytest.approx(single / 4, rel=0.05)
+
+
+def test_work_groups_bounded_by_cores():
+    # 16 groups on 4 cores: only a 4x win
+    quad = run_with_groups(4)
+    sixteen = run_with_groups(16)
+    assert sixteen == pytest.approx(quad, rel=0.1)
+
+
+def test_one_group_equals_default():
+    assert run_with_groups(1) == run_with_groups(None)
+
+
+def test_groups_capped_by_global_size():
+    plat, prog, bufs, q = setup()
+    ev = q.enqueue_nd_range(
+        prog.kernel("saxpy").set_args(*bufs), 2, work_groups=100
+    )
+    q.finish()
+    assert ev.complete  # 2 groups of 1 item, not 100 empty ones
+
+
+def test_validation():
+    plat, prog, bufs, q = setup()
+    with pytest.raises(ValueError):
+        q.enqueue_nd_range(prog.kernel("saxpy").set_args(*bufs), 64, work_groups=0)
+
+
+def test_functional_result_unaffected():
+    plat, prog, bufs, q = setup()
+    x, y = bufs
+    x.array[:] = 1.0
+    q.enqueue_nd_range(prog.kernel("saxpy").set_args(x, y), 8192, work_groups=4)
+    q.finish()
+    np.testing.assert_allclose(y.array, 2.0)

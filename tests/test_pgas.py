@@ -1,0 +1,214 @@
+"""Unit + property tests for the PGAS layer (NUMA map, allocator, migration)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.interconnect import build_tree
+from repro.memory import PAGE_SIZE, AddressRange, UnimemSpace
+from repro.pgas import (
+    AllocationError,
+    GlobalAllocator,
+    MigrationPolicy,
+    NumaDomain,
+    NumaMap,
+)
+from repro.sim import Simulator
+
+WINDOW = 64 * PAGE_SIZE
+
+
+def make_numa(n=4, with_network=True):
+    domains = [
+        NumaDomain(i, ("w", i), AddressRange(i * WINDOW, WINDOW)) for i in range(n)
+    ]
+    net = None
+    if with_network:
+        sim = Simulator()
+        net, workers = build_tree(sim, [2, (n + 1) // 2])
+    return NumaMap(domains, net)
+
+
+class TestNumaMap:
+    def test_lookup(self):
+        numa = make_numa()
+        assert numa.domain(2).domain_id == 2
+        with pytest.raises(KeyError):
+            numa.domain(99)
+
+    def test_domain_of_address(self):
+        numa = make_numa()
+        assert numa.domain_of_address(WINDOW + 5).domain_id == 1
+        with pytest.raises(ValueError):
+            numa.domain_of_address(100 * WINDOW)
+
+    def test_distance_from_network(self):
+        numa = make_numa(4)
+        assert numa.distance(0, 0) == 0
+        assert numa.distance(0, 1) == 2   # siblings under one switch
+        assert numa.distance(0, 3) == 4   # across the root
+
+    def test_distance_without_network_uniform(self):
+        numa = make_numa(4, with_network=False)
+        assert numa.distance(0, 3) == 1
+
+    def test_nearest_sorted(self):
+        numa = make_numa(4)
+        order = [d.domain_id for d in numa.nearest_domains(0)]
+        assert order[0] == 0
+        assert order[1] == 1  # sibling before cross-tree
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NumaMap([])
+        d = NumaDomain(0, "w", AddressRange(0, WINDOW))
+        with pytest.raises(ValueError):
+            NumaMap([d, d])
+
+
+class TestAllocator:
+    def test_affinity_placement(self):
+        alloc = GlobalAllocator(make_numa())
+        a = alloc.allocate(100, affinity_domain=2)
+        assert a.domain_id == 2
+        assert a.range.base % PAGE_SIZE == 0
+        assert a.size == PAGE_SIZE  # rounded up
+
+    def test_spill_to_nearest(self):
+        numa = make_numa(4)
+        alloc = GlobalAllocator(numa)
+        alloc.allocate(WINDOW, affinity_domain=0)      # fill domain 0
+        spilled = alloc.allocate(PAGE_SIZE, affinity_domain=0)
+        assert spilled.domain_id == 1                  # nearest with room
+        assert alloc.spill_count == 1
+        assert alloc.locality_fraction() == pytest.approx(0.5)
+
+    def test_exhaustion_raises(self):
+        numa = make_numa(2)
+        alloc = GlobalAllocator(numa)
+        alloc.allocate(WINDOW, 0)
+        alloc.allocate(WINDOW, 1)
+        with pytest.raises(AllocationError):
+            alloc.allocate(PAGE_SIZE, 0)
+
+    def test_free_and_reuse(self):
+        numa = make_numa(1)
+        alloc = GlobalAllocator(numa)
+        a = alloc.allocate(WINDOW, 0)
+        alloc.free(a)
+        b = alloc.allocate(WINDOW, 0)  # whole window reusable after free
+        assert b.range.base == a.range.base
+
+    def test_double_free_rejected(self):
+        alloc = GlobalAllocator(make_numa(1))
+        a = alloc.allocate(100, 0)
+        alloc.free(a)
+        with pytest.raises(AllocationError):
+            alloc.free(a)
+
+    def test_invalid_size(self):
+        alloc = GlobalAllocator(make_numa(1))
+        with pytest.raises(ValueError):
+            alloc.allocate(0, 0)
+
+    def test_striped_allocation(self):
+        alloc = GlobalAllocator(make_numa(4))
+        slices = alloc.allocate_striped(4 * PAGE_SIZE, [0, 1, 2, 3])
+        assert len(slices) == 4
+        assert sorted(s.domain_id for s in slices) == [0, 1, 2, 3]
+        with pytest.raises(ValueError):
+            alloc.allocate_striped(100, [])
+
+    def test_coalescing(self):
+        """Freeing adjacent blocks merges holes so a big allocation fits."""
+        alloc = GlobalAllocator(make_numa(1))
+        blocks = [alloc.allocate(WINDOW // 4, 0) for _ in range(4)]
+        for b in blocks:
+            alloc.free(b)
+        big = alloc.allocate(WINDOW, 0)
+        assert big.size == WINDOW
+
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_alloc_free_conservation(self, sizes_pages):
+        alloc = GlobalAllocator(make_numa(2, with_network=False))
+        total = alloc.free_bytes()
+        live = []
+        for pages in sizes_pages:
+            try:
+                live.append(alloc.allocate(pages * PAGE_SIZE, 0))
+            except AllocationError:
+                break
+        held = sum(a.size for a in live)
+        assert alloc.free_bytes() == total - held
+        for a in live:
+            alloc.free(a)
+        assert alloc.free_bytes() == total
+
+
+class TestMigration:
+    def make(self, **kw):
+        space = UnimemSpace(4, WINDOW)
+        return space, MigrationPolicy(space, **kw)
+
+    def test_migrates_hot_remote_page(self):
+        space, pol = self.make(min_accesses=4)
+        addr = space.map.global_address(0, 0)
+        for _ in range(10):
+            pol.record(node=3, addr=addr, size=8, is_write=False)
+        migrated, _ = pol.step()
+        assert migrated == 1
+        assert space.page_home(addr) == 3
+
+    def test_no_migration_below_min_accesses(self):
+        space, pol = self.make(min_accesses=100)
+        addr = space.map.global_address(0, 0)
+        for _ in range(10):
+            pol.record(3, addr, 8, False)
+        assert pol.step() == (0, 0)
+        assert space.page_home(addr) == 0
+
+    def test_no_migration_when_home_dominates(self):
+        space, pol = self.make(min_accesses=4)
+        addr = space.map.global_address(0, 0)
+        for _ in range(20):
+            pol.record(0, addr, 8, False)
+        pol.record(3, addr, 8, False)
+        assert pol.step() == (0, 0)
+
+    def test_readonly_sharing_replicates(self):
+        space, pol = self.make(min_accesses=4, migrate_threshold=0.9)
+        addr = space.map.global_address(0, 0)
+        for node in (1, 2, 3):
+            for _ in range(5):
+                pol.record(node, addr, 8, False)
+        _, replicated = pol.step()
+        assert replicated == 3
+        assert pol.has_replica(0, 1)
+
+    def test_write_invalidates_replicas(self):
+        space, pol = self.make(min_accesses=4, migrate_threshold=0.9)
+        addr = space.map.global_address(0, 0)
+        for node in (1, 2, 3):
+            for _ in range(5):
+                pol.record(node, addr, 8, False)
+        pol.step()
+        pol.record(1, addr, 8, True)
+        assert not pol.has_replica(0, 1)
+
+    def test_validation(self):
+        space = UnimemSpace(2, WINDOW)
+        with pytest.raises(ValueError):
+            MigrationPolicy(space, migrate_threshold=0.0)
+        with pytest.raises(ValueError):
+            MigrationPolicy(space, min_accesses=0)
+        pol = MigrationPolicy(space)
+        with pytest.raises(ValueError):
+            pol.record(0, 0, 0, False)
+
+    def test_stats_accumulate(self):
+        space, pol = self.make(min_accesses=1)
+        addr = space.map.global_address(0, 0)
+        pol.record(2, addr, 8, False)
+        pol.step()
+        assert pol.stats.pages_migrated == 1
+        assert pol.stats.migration_bytes == PAGE_SIZE

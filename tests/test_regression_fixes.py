@@ -1,0 +1,66 @@
+"""Regression tests for fixed modeling bugs."""
+
+import pytest
+
+from repro.core import ComputeNode, ComputeNodeParams, Worker, WorkerParams
+from repro.fabric import ConfigScrubber, ModuleLibrary
+from repro.hls import HlsTool, SynthesisConstraints, saxpy_kernel, stencil_kernel
+from repro.memory import AddressRange
+from repro.sim import Simulator, spawn
+
+
+def run(sim, gen):
+    out = {}
+
+    def proc():
+        out["v"] = yield from gen
+
+    spawn(sim, proc())
+    sim.run()
+    return out.get("v")
+
+
+def test_no_cache_alias_between_local_dram_and_rehomed_remote_pages():
+    """Regression: worker 1's local offsets used to alias worker 0's
+    global window in worker 1's cache, so caching a rehomed remote page
+    could produce phantom hits against unrelated local data."""
+    sim = Simulator()
+    node = ComputeNode(sim, ComputeNodeParams(num_workers=2))
+    # re-home the first page of worker 0's window to worker 1
+    remote = AddressRange(node.unimem.map.global_address(0, 0), 4096)
+    node.unimem.rehome_range(remote, new_home=1)
+    # worker 1 caches the remote page
+    run(sim, node.remote_access(1, remote, False))
+    misses_after_remote = node.worker(1).cache.stats.misses
+    # worker 1 touches its OWN dram at local offset 0 (same numeric range)
+    local = AddressRange(node.unimem.map.global_address(1, 0), 4096)
+    run(sim, node.remote_access(1, local, False))
+    # the local access must MISS (different lines), not alias-hit
+    assert node.worker(1).cache.stats.misses > misses_after_remote
+
+
+def test_scrubber_reset_on_module_reload():
+    """Regression: after reloading a region with a different module of
+    identical size, the scrubber's live copy must track the new golden
+    bitstream instead of reporting phantom corruption."""
+    lib = ModuleLibrary()
+    tool = HlsTool()
+    tool.compile(saxpy_kernel(1024), lib, SynthesisConstraints(max_variants=1))
+    tool.compile(stencil_kernel(1024), lib, SynthesisConstraints(max_variants=1))
+    sim = Simulator()
+    worker = Worker(sim, 0, WorkerParams(fabric_regions=1))
+    capacity = worker.fabric.regions[0].capacity
+    saxpy = lib.best_variant("saxpy", capacity=capacity)
+    stencil = lib.best_variant("stencil5", capacity=capacity)
+    scrub = ConfigScrubber(sim, worker.fabric)
+
+    def flow():
+        region = yield from worker.load_module(saxpy)
+        found_a = yield from scrub.scrub_pass()
+        assert found_a == 0
+        # materialize the live copy, then reload a different module
+        yield from worker.load_module(stencil, region)
+        found_b = yield from scrub.scrub_pass()
+        return found_b
+
+    assert run(sim, flow()) == 0  # no phantom faults after the reload

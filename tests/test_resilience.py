@@ -1,0 +1,146 @@
+"""Unit tests for fault injection and reconfiguration-based recovery."""
+
+import pytest
+
+from repro.core import (
+    ComputeNode,
+    ComputeNodeParams,
+    FaultInjector,
+    RecoveryManager,
+    UnilogicDomain,
+)
+from repro.fabric import ModuleLibrary, RegionState
+from repro.hls import HlsTool, SynthesisConstraints, saxpy_kernel
+from repro.sim import Simulator, spawn
+
+
+@pytest.fixture(scope="module")
+def library():
+    lib = ModuleLibrary()
+    HlsTool().compile(saxpy_kernel(1024), lib, SynthesisConstraints(max_variants=1))
+    return lib
+
+
+def setup(library, workers=2):
+    sim = Simulator()
+    node = ComputeNode(sim, ComputeNodeParams(num_workers=workers))
+    unilogic = UnilogicDomain(node)
+    injector = FaultInjector(node)
+    manager = RecoveryManager(node, unilogic, library, injector, check_period_ns=1000.0)
+    return sim, node, unilogic, injector, manager
+
+
+def load_saxpy(sim, node, library, worker=0):
+    module = library.best_variant("saxpy")
+    out = {}
+
+    def proc():
+        out["region"] = yield from node.worker(worker).load_module(module)
+
+    spawn(sim, proc())
+    sim.run()
+    return out["region"]
+
+
+class TestFaultInjector:
+    def test_region_fault_kills_service(self, library):
+        sim, node, unilogic, injector, _ = setup(library)
+        region = load_saxpy(sim, node, library)
+        assert unilogic.hosting_regions("saxpy")
+        record = injector.inject_region_fault(0, region.region_id)
+        assert record.function == "saxpy"
+        assert not unilogic.hosting_regions("saxpy")
+        assert injector.is_failed(0, region.region_id)
+
+    def test_double_fault_rejected(self, library):
+        sim, node, _, injector, _ = setup(library)
+        injector.inject_region_fault(0, 0)
+        with pytest.raises(ValueError):
+            injector.inject_region_fault(0, 0)
+
+    def test_unknown_region_rejected(self, library):
+        sim, node, _, injector, _ = setup(library)
+        with pytest.raises(ValueError):
+            injector.inject_region_fault(0, 99)
+
+    def test_worker_fault_kills_all_regions(self, library):
+        sim, node, _, injector, _ = setup(library)
+        records = injector.inject_worker_fault(0)
+        assert len(records) == len(node.worker(0).fabric)
+        # a dead region is never EMPTY or READY
+        for r in node.worker(0).fabric.regions:
+            assert r.state is RegionState.LOADING
+
+    def test_scheduled_fault_fires_at_time(self, library):
+        sim, node, _, injector, _ = setup(library)
+        injector.schedule_region_fault(500.0, 0, 0)
+        sim.run()
+        assert injector.records[0].injected_at == 500.0
+
+
+class TestRecoveryManager:
+    def test_recovers_on_same_worker(self, library):
+        sim, node, unilogic, injector, manager = setup(library)
+        region = load_saxpy(sim, node, library)
+        injector.inject_region_fault(0, region.region_id)
+        proc = spawn(sim, manager.run())
+        sim.run(until=sim.now + 100_000.0)
+        manager.stop()
+        assert manager.recoveries == 1
+        record = injector.records[0]
+        assert record.recovered_at is not None
+        assert record.recovery_worker == 0  # free sibling region
+        assert unilogic.hosting_regions("saxpy")
+
+    def test_recovers_on_another_worker_when_local_fabric_dead(self, library):
+        sim, node, unilogic, injector, manager = setup(library)
+        region = load_saxpy(sim, node, library)
+        injector.inject_worker_fault(0)   # all of worker 0's fabric dies
+        spawn(sim, manager.run())
+        sim.run(until=sim.now + 100_000.0)
+        manager.stop()
+        record = next(r for r in injector.records if r.function == "saxpy")
+        assert record.recovery_worker == 1  # migrated across UNILOGIC
+        host, _ = unilogic.hosting_regions("saxpy")[0]
+        assert host == 1
+
+    def test_recovery_time_measured(self, library):
+        sim, node, _, injector, manager = setup(library)
+        region = load_saxpy(sim, node, library)
+        injector.inject_region_fault(0, region.region_id)
+        spawn(sim, manager.run())
+        sim.run(until=sim.now + 100_000.0)
+        manager.stop()
+        assert manager.mean_recovery_ns() > 0
+
+    def test_unknown_function_unrecoverable(self, library):
+        sim, node, _, injector, manager = setup(library)
+        region = load_saxpy(sim, node, library)
+        # fake a function the library does not know
+        region.module = None
+        node.worker(0).fabric.regions[region.region_id].state = RegionState.READY
+        injector.records.clear()
+        from repro.core.resilience import FaultRecord
+
+        injector.records.append(
+            FaultRecord(worker_id=0, region_id=0, function="ghost", injected_at=0.0)
+        )
+        spawn(sim, manager.run())
+        sim.run(until=sim.now + 10_000.0)
+        manager.stop()
+        assert manager.unrecoverable
+        assert manager.recoveries == 0
+
+    def test_validation(self, library):
+        sim, node, unilogic, injector, _ = setup(library)
+        with pytest.raises(ValueError):
+            RecoveryManager(node, unilogic, library, injector, check_period_ns=0)
+
+    def test_faults_without_function_ignored(self, library):
+        sim, node, _, injector, manager = setup(library)
+        injector.inject_region_fault(0, 0)  # empty region: nothing to recover
+        spawn(sim, manager.run())
+        sim.run(until=sim.now + 10_000.0)
+        manager.stop()
+        assert manager.recoveries == 0
+        assert not manager.unrecoverable

@@ -1,0 +1,184 @@
+"""Unit tests for execution history and prediction models."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import (
+    DeviceSelector,
+    ExecutionHistory,
+    ExecutionRecord,
+    KnnPredictor,
+    LinearModel,
+    PcaRegressor,
+    kernel_features,
+)
+
+
+def rec(function="f", device="sw", items=100, latency=1000.0, t=0.0, worker=0, energy=10.0):
+    return ExecutionRecord(
+        function=function,
+        device=device,
+        worker=worker,
+        items=items,
+        latency_ns=latency,
+        energy_pj=energy,
+        timestamp=t,
+    )
+
+
+class TestHistory:
+    def test_append_and_query(self):
+        h = ExecutionHistory()
+        h.append(rec("a", "sw", t=1.0))
+        h.append(rec("a", "hw", t=2.0))
+        h.append(rec("b", "sw", t=3.0))
+        assert len(h) == 3
+        assert len(h.records("a")) == 2
+        assert len(h.records("a", "hw")) == 1
+        assert len(h.records(since=2.5)) == 1
+        assert h.functions() == ["a", "b"]
+
+    def test_capacity_evicts_oldest(self):
+        h = ExecutionHistory(capacity=2)
+        for i in range(5):
+            h.append(rec(items=i + 1))
+        assert len(h) == 2
+        assert h.records()[0].items == 4
+
+    def test_call_counts_and_hotness(self):
+        h = ExecutionHistory()
+        for _ in range(3):
+            h.append(rec("hot", latency=100.0))
+        h.append(rec("cold", latency=1.0))
+        assert h.call_counts() == {"hot": 3, "cold": 1}
+        assert h.total_time_by_function()["hot"] == 300.0
+
+    def test_mean_latency(self):
+        h = ExecutionHistory()
+        h.append(rec("f", "sw", latency=100.0))
+        h.append(rec("f", "sw", latency=300.0))
+        assert h.mean_latency("f", "sw") == 200.0
+        assert h.mean_latency("missing") is None
+
+    def test_save_load_roundtrip(self, tmp_path):
+        h = ExecutionHistory()
+        h.append(rec("a", "hw", items=7, latency=42.0, t=5.0))
+        path = tmp_path / "history.json"
+        h.save(path)
+        loaded = ExecutionHistory.load(path)
+        assert len(loaded) == 1
+        assert loaded.records()[0] == h.records()[0]
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            rec(device="gpu")
+        with pytest.raises(ValueError):
+            rec(items=0)
+        with pytest.raises(ValueError):
+            ExecutionHistory(capacity=0)
+
+
+class TestModels:
+    def make_linear_data(self, slope=3.0, intercept=50.0, n=30):
+        rng = np.random.default_rng(0)
+        items = rng.integers(10, 10000, size=n)
+        x = np.array([kernel_features(int(i)) for i in items])
+        y = slope * items + intercept + rng.normal(0, 1.0, size=n)
+        return x, y, items
+
+    def test_kernel_features_validation(self):
+        with pytest.raises(ValueError):
+            kernel_features(0)
+        f = kernel_features(100, 400, 400)
+        assert f.shape == (4,)
+        assert f[2] == 800.0
+
+    def test_linear_model_recovers_trend(self):
+        x, y, items = self.make_linear_data()
+        m = LinearModel().fit(x, y)
+        pred = m.predict_one(kernel_features(5000))
+        assert pred == pytest.approx(3.0 * 5000 + 50.0, rel=0.05)
+
+    def test_linear_model_validation(self):
+        with pytest.raises(ValueError):
+            LinearModel(alpha=-1)
+        m = LinearModel()
+        with pytest.raises(RuntimeError):
+            m.predict_one(kernel_features(10))
+        with pytest.raises(ValueError):
+            m.fit(np.zeros((1, 4)), np.zeros(1))  # too few samples
+
+    def test_pca_regressor(self):
+        x, y, _ = self.make_linear_data()
+        m = PcaRegressor(components=2).fit(x, y)
+        pred = m.predict_one(kernel_features(5000))
+        assert pred == pytest.approx(3.0 * 5000 + 50.0, rel=0.10)
+        with pytest.raises(ValueError):
+            PcaRegressor(components=0)
+        with pytest.raises(RuntimeError):
+            PcaRegressor().predict_one(kernel_features(10))
+
+    def test_knn_interpolates(self):
+        x = np.array([kernel_features(i) for i in (10, 20, 30)])
+        y = np.array([100.0, 200.0, 300.0])
+        m = KnnPredictor(k=1).fit(x, y)
+        assert m.predict_one(kernel_features(21)) == pytest.approx(200.0)
+        with pytest.raises(ValueError):
+            KnnPredictor(k=0)
+
+
+class TestDeviceSelector:
+    def filled_history(self, sw_slope=10.0, hw_slope=1.0, n=20):
+        h = ExecutionHistory()
+        rng = np.random.default_rng(1)
+        for _ in range(n):
+            items = int(rng.integers(100, 10000))
+            h.append(rec("f", "sw", items=items, latency=sw_slope * items + 500))
+            h.append(rec("f", "hw", items=items, latency=hw_slope * items + 2000))
+        return h
+
+    def test_abstains_when_cold(self):
+        sel = DeviceSelector(min_samples=5)
+        sel.train(ExecutionHistory())
+        assert sel.choose_device("f", 100) is None
+        assert sel.predict_latency("f", "sw", 100) is None
+
+    def test_chooses_hw_for_large_calls(self):
+        sel = DeviceSelector(min_samples=5)
+        sel.train(self.filled_history())
+        assert sel.choose_device("f", 50000) == "hw"
+
+    def test_chooses_sw_for_tiny_calls(self):
+        # hw has a big fixed overhead (2000) vs sw (500)
+        sel = DeviceSelector(min_samples=5)
+        sel.train(self.filled_history())
+        assert sel.choose_device("f", 10) == "sw"
+
+    def test_prediction_accuracy(self):
+        sel = DeviceSelector(min_samples=5)
+        sel.train(self.filled_history())
+        pred = sel.predict_latency("f", "sw", 4000)
+        assert pred == pytest.approx(10.0 * 4000 + 500, rel=0.10)
+
+    def test_pca_variant_trains(self):
+        sel = DeviceSelector(min_samples=5, use_pca=True)
+        trained = sel.train(self.filled_history())
+        assert trained == 4  # latency+energy x two devices
+        # query inside the training range (PCA+log extrapolates poorly)
+        assert sel.choose_device("f", 9000) == "hw"
+
+    def test_energy_weight_validation(self):
+        sel = DeviceSelector()
+        sel.train(self.filled_history())
+        with pytest.raises(ValueError):
+            sel.choose_device("f", 100, energy_weight=2.0)
+
+    def test_sample_counts(self):
+        sel = DeviceSelector(min_samples=5)
+        sel.train(self.filled_history(n=7))
+        assert sel.sample_counts("f") == {"sw": 7, "hw": 7}
+        assert sel.sample_counts("missing") == {"sw": 0, "hw": 0}
+
+    def test_min_samples_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSelector(min_samples=1)

@@ -1,0 +1,110 @@
+"""Unit tests for performance monitors, instrumentation and actuation."""
+
+import pytest
+
+from repro.core import Worker
+from repro.core.runtime import (
+    CallProfile,
+    ExecutionHistory,
+    FunctionInstrumentation,
+    ModelActuator,
+    PerformanceMonitor,
+)
+from repro.hls import saxpy_kernel
+from repro.sim import Simulator, spawn
+
+
+class TestPerformanceMonitor:
+    def test_snapshot_reflects_activity(self):
+        sim = Simulator()
+        worker = Worker(sim, 0)
+        mon = PerformanceMonitor(worker)
+        before = mon.read()
+
+        def activity():
+            yield from worker.run_software(saxpy_kernel(1024), 1000)
+            yield from worker.local_stream(0, 8192)
+
+        spawn(sim, activity())
+        sim.run()
+        after = mon.read()
+        delta = after.delta(before)
+        assert delta["sw_calls"] == 1
+        assert delta["dram_bytes"] == 8192
+        assert delta["interval_ns"] > 0
+        assert len(mon.snapshots) == 2
+
+    def test_sample_loop_periodic(self):
+        sim = Simulator()
+        worker = Worker(sim, 0)
+        mon = PerformanceMonitor(worker)
+        spawn(sim, mon.sample_loop(period_ns=100.0, samples=5))
+        sim.run()
+        assert len(mon.snapshots) == 5
+        stamps = [s.timestamp for s in mon.snapshots]
+        assert stamps == [100.0, 200.0, 300.0, 400.0, 500.0]
+
+    def test_sample_loop_validation(self):
+        sim = Simulator()
+        mon = PerformanceMonitor(Worker(sim, 0))
+        spawn(sim, mon.sample_loop(period_ns=0.0, samples=1))
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestInstrumentation:
+    def test_observe_and_typical_items(self):
+        instr = FunctionInstrumentation()
+        instr.observe(CallProfile("f", 100))
+        instr.observe(CallProfile("f", 300))
+        instr.observe(CallProfile("g", 7))
+        assert instr.typical_items("f") == 200
+        assert instr.typical_items("g") == 7
+        assert instr.typical_items("missing") is None
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionInstrumentation().observe(CallProfile("f", 0))
+
+
+class TestActuator:
+    def filled_history(self, n=40):
+        hist = ExecutionHistory()
+        for i in range(n):
+            items = 100 + i * 50
+            hist.record(function="f", device="sw", worker=0, items=items,
+                        latency_ns=10.0 * items + 500, energy_pj=2.0 * items,
+                        timestamp=float(i))
+            hist.record(function="f", device="hw", worker=0, items=items,
+                        latency_ns=1.0 * items + 4000, energy_pj=0.2 * items,
+                        timestamp=float(i))
+        return hist
+
+    def test_retrains_every_n_observations(self):
+        hist = self.filled_history()
+        act = ModelActuator(hist, retrain_every=4)
+        for i in range(9):
+            act.observe(CallProfile("f", 100 + i))
+        assert act.retrains == 2
+
+    def test_projection_and_recommendation(self):
+        hist = self.filled_history()
+        act = ModelActuator(hist, retrain_every=1)
+        act.observe(CallProfile("f", 500))  # triggers training
+        small = act.project("f", 150)
+        large = act.project("f", 1800)
+        assert small.sw_latency_ns is not None
+        assert small.recommended_device == "sw"   # hw fixed cost dominates
+        assert large.recommended_device == "hw"
+        assert large.hw_energy_pj < large.sw_energy_pj
+
+    def test_cold_projection_abstains(self):
+        act = ModelActuator(ExecutionHistory(), retrain_every=1)
+        act.observe(CallProfile("f", 10))
+        proj = act.project("f", 10)
+        assert proj.sw_latency_ns is None
+        assert proj.recommended_device is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelActuator(ExecutionHistory(), retrain_every=0)

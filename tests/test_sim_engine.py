@@ -1,0 +1,141 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.events_processed == 0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "middle")
+    sim.run()
+    assert fired == ["early", "middle", "late"]
+    assert sim.now == 5.0
+
+
+def test_equal_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    fired = []
+    for tag in "abcde":
+        sim.schedule(2.0, fired.append, tag)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_priority_breaks_ties_before_insertion_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "low", priority=5)
+    sim.schedule(1.0, fired.append, "high", priority=-1)
+    sim.run()
+    assert fired == ["high", "low"]
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, fired.append, "y")
+    ev.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    sim.run(until=5.0)
+    assert fired == ["a"]
+    assert sim.now == 5.0  # clock advanced to the horizon
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_zero_delay_event_fires_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [2.0]
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_peek_empty_returns_none():
+    sim = Simulator()
+    assert sim.peek() is None
+
+
+def test_step_returns_false_on_empty_queue():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_events_processed_counts():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_event_repr_and_ordering():
+    a = Event(1.0, 0, 0, lambda: None, ())
+    b = Event(1.0, 0, 1, lambda: None, ())
+    assert a < b

@@ -1,0 +1,239 @@
+"""Unit tests for generator processes, signals and composite waits."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimulationError,
+    Signal,
+    Simulator,
+    Timeout,
+    spawn,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield Timeout(5.0)
+        seen.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_timeout_negative_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1)
+
+
+def test_process_return_value_via_join():
+    sim = Simulator()
+    result = []
+
+    def child():
+        yield Timeout(3.0)
+        return 42
+
+    def parent():
+        value = yield spawn(sim, child())
+        result.append(value)
+
+    spawn(sim, parent())
+    sim.run()
+    assert result == [42]
+
+
+def test_signal_wait_then_fire():
+    sim = Simulator()
+    sig = Signal(sim)
+    got = []
+
+    def waiter():
+        value = yield sig
+        got.append((sim.now, value))
+
+    def firer():
+        yield Timeout(7.0)
+        sig.succeed("hello")
+
+    spawn(sim, waiter())
+    spawn(sim, firer())
+    sim.run()
+    assert got == [(7.0, "hello")]
+
+
+def test_signal_fire_then_wait_resumes_immediately():
+    sim = Simulator()
+    sig = Signal(sim)
+    sig.succeed("early")
+    got = []
+
+    def waiter():
+        yield Timeout(2.0)
+        value = yield sig
+        got.append((sim.now, value))
+
+    spawn(sim, waiter())
+    sim.run()
+    assert got == [(2.0, "early")]
+
+
+def test_signal_double_fire_rejected():
+    sim = Simulator()
+    sig = Signal(sim)
+    sig.succeed(1)
+    with pytest.raises(SimulationError):
+        sig.succeed(2)
+
+
+def test_signal_value_before_fire_rejected():
+    sim = Simulator()
+    sig = Signal(sim)
+    with pytest.raises(SimulationError):
+        _ = sig.value
+
+
+def test_allof_collects_values_in_order():
+    sim = Simulator()
+    got = []
+
+    def make(delay, value):
+        def proc():
+            yield Timeout(delay)
+            return value
+
+        return proc()
+
+    def parent():
+        children = [spawn(sim, make(3.0, "a")), spawn(sim, make(1.0, "b"))]
+        values = yield AllOf(children)
+        got.append((sim.now, values))
+
+    spawn(sim, parent())
+    sim.run()
+    assert got == [(3.0, ["a", "b"])]
+
+
+def test_allof_empty_completes_immediately():
+    sim = Simulator()
+    got = []
+
+    def parent():
+        values = yield AllOf([])
+        got.append(values)
+
+    spawn(sim, parent())
+    sim.run()
+    assert got == [[]]
+
+
+def test_anyof_returns_first_winner():
+    sim = Simulator()
+    got = []
+
+    def parent():
+        winner = yield AnyOf([Timeout(5.0, "slow"), Timeout(1.0, "fast")])
+        got.append((sim.now, winner))
+
+    spawn(sim, parent())
+    sim.run()
+    assert got == [(1.0, (1, "fast"))]
+
+
+def test_anyof_empty_rejected():
+    with pytest.raises(SimulationError):
+        AnyOf([])
+
+
+def test_interrupt_is_raised_inside_process():
+    sim = Simulator()
+    got = []
+
+    def victim():
+        try:
+            yield Timeout(100.0)
+        except Interrupt as itr:
+            got.append((sim.now, itr.cause))
+
+    def attacker(proc):
+        yield Timeout(4.0)
+        proc.interrupt("preempted")
+
+    p = spawn(sim, victim())
+    spawn(sim, attacker(p))
+    sim.run()
+    assert got == [(4.0, "preempted")]
+
+
+def test_uncaught_interrupt_terminates_quietly():
+    sim = Simulator()
+
+    def victim():
+        yield Timeout(100.0)
+
+    def attacker(proc):
+        yield Timeout(1.0)
+        proc.interrupt()
+
+    p = spawn(sim, victim())
+    spawn(sim, attacker(p))
+    sim.run()
+    assert not p.alive
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def victim():
+        yield Timeout(1.0)
+
+    p = spawn(sim, victim())
+    sim.run()
+    p.interrupt()
+    sim.run()
+    assert not p.alive
+
+
+def test_yield_non_waitable_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    spawn(sim, bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+    stamps = []
+
+    def proc():
+        for _ in range(4):
+            yield Timeout(2.5)
+            stamps.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert stamps == [2.5, 5.0, 7.5, 10.0]
+
+
+def test_many_processes_interleave_deterministically():
+    sim = Simulator()
+    order = []
+
+    def proc(tag, delay):
+        yield Timeout(delay)
+        order.append(tag)
+
+    for i in range(5):
+        spawn(sim, proc(i, float(5 - i)))
+    sim.run()
+    assert order == [4, 3, 2, 1, 0]

@@ -1,0 +1,96 @@
+"""Unit tests for the tracer and timeline rendering."""
+
+import json
+
+import pytest
+
+from repro.sim import Simulator, Tracer, Timeout, render_timeline, spawn
+
+
+def traced_run():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def worker(lane, start_delay, work):
+        yield Timeout(start_delay)
+        tracer.begin(lane, "task")
+        yield Timeout(work)
+        tracer.end(lane, "task")
+
+    spawn(sim, worker("w0", 0.0, 100.0))
+    spawn(sim, worker("w1", 50.0, 100.0))
+    sim.run()
+    return sim, tracer
+
+
+def test_span_lifecycle():
+    sim, tracer = traced_run()
+    spans = tracer.closed_spans()
+    assert len(spans) == 2
+    w0 = next(s for s in spans if s.lane == "w0")
+    assert (w0.start, w0.end) == (0.0, 100.0)
+    assert w0.duration == 100.0
+
+
+def test_busy_time_and_utilization():
+    sim, tracer = traced_run()
+    assert tracer.busy_time("w0") == 100.0
+    assert tracer.utilization("w1") == pytest.approx(100.0 / 150.0)
+
+
+def test_double_begin_rejected():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.begin("w0", "x")
+    with pytest.raises(ValueError):
+        tracer.begin("w0", "x")
+
+
+def test_end_without_begin_rejected():
+    tracer = Tracer(Simulator())
+    with pytest.raises(ValueError):
+        tracer.end("w0", "ghost")
+
+
+def test_span_context_manager():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    with tracer.span("w0", "block"):
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+    span = tracer.closed_spans()[0]
+    assert span.duration == 10.0
+
+
+def test_instant_marker():
+    tracer = Tracer(Simulator())
+    s = tracer.instant("w0", "irq")
+    assert s.duration == 0.0
+
+
+def test_lanes_ordered_by_first_use():
+    sim, tracer = traced_run()
+    assert tracer.lanes() == ["w0", "w1"]
+
+
+def test_render_timeline_shape():
+    sim, tracer = traced_run()
+    text = render_timeline(tracer, width=40)
+    lines = text.splitlines()
+    assert len(lines) == 3  # header + two lanes
+    assert "#" in lines[1] and "#" in lines[2]
+    # w1 starts later: its first '#' is to the right of w0's
+    assert lines[2].index("#") > lines[1].index("#")
+
+
+def test_render_empty():
+    assert "no closed spans" in render_timeline(Tracer(Simulator()))
+
+
+def test_chrome_trace_export():
+    sim, tracer = traced_run()
+    payload = json.loads(tracer.to_chrome_trace())
+    events = payload["traceEvents"]
+    assert len(events) == 2
+    assert events[0]["ph"] == "X"
+    assert events[0]["tid"] in ("w0", "w1")
