@@ -6,6 +6,8 @@ Commands:
 - ``machine``     build a machine and report its hierarchy metrics,
 - ``power``       the Section 1 exascale power extrapolation,
 - ``demo``        a short adaptive-runtime run with a timeline,
+- ``trace``       run a preset with telemetry, export a Perfetto trace,
+- ``metrics``     run a preset with telemetry, dump the metrics snapshot,
 - ``experiment``  run one DESIGN.md experiment's bench and print its tables.
 """
 
@@ -117,6 +119,89 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_run(args: argparse.Namespace):
+    """Shared by ``trace``/``metrics``: one instrumented runtime run.
+
+    Builds a Compute Node from the named preset, attaches a telemetry
+    hub to every layer (kernel, NoC, memories, fabrics, runtime), and
+    drives a layered DAG through the adaptive runtime with the
+    reconfiguration daemon on -- so the trace/snapshot covers the
+    interconnect, memory, fabric and runtime layers in one run.
+    """
+    from repro.apps import make_layered_dag
+    from repro.core import ComputeNode
+    from repro.core.runtime import ExecutionEngine
+    from repro.presets import compiled_suite, node_preset
+    from repro.sim import Simulator
+    from repro.telemetry import Telemetry, attach_simulator
+
+    print(f"compiling the kernel suite, building preset {args.preset!r}...",
+          file=sys.stderr)
+    registry, library = compiled_suite(max_variants=1)
+    sim = Simulator()
+    hub = Telemetry(sim)
+    attach_simulator(hub, sim)
+    node = ComputeNode(sim, node_preset(args.preset))
+    node.attach_telemetry(hub)
+    engine = ExecutionEngine(
+        node, registry, library,
+        use_daemon=True, daemon_period_ns=100_000.0, telemetry=hub,
+    )
+    graph = make_layered_dag(
+        layers=args.layers, width=args.width, num_workers=len(node),
+        functions=("saxpy", "stencil5", "montecarlo"), seed=args.seed,
+    )
+    print(f"running {len(graph)} tasks on {len(node)} workers...",
+          file=sys.stderr)
+    report = engine.run_graph(graph)
+    return hub, report
+
+
+def _write_or_print(text: str, out: Optional[str]) -> None:
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {out}", file=sys.stderr)
+    else:
+        print(text)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import chrome_trace_json, events_json, snapshot_json
+
+    hub, report = _telemetry_run(args)
+    _write_or_print(chrome_trace_json(hub), args.out)
+    if args.metrics_out:
+        _write_or_print(snapshot_json(hub), args.metrics_out)
+    if args.events_out:
+        _write_or_print(events_json(hub, indent=2), args.events_out)
+    spans = len(hub.tracer.closed_spans())
+    print(f"  makespan : {report.makespan_ns / 1e6:.3f} ms", file=sys.stderr)
+    print(f"  spans    : {spans} across {len(hub.tracer.lanes())} lanes",
+          file=sys.stderr)
+    print(f"  events   : {len(hub.events)} ({hub.events.dropped} dropped)",
+          file=sys.stderr)
+    print("load the trace in https://ui.perfetto.dev or chrome://tracing",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.telemetry import prometheus_text, snapshot_csv, snapshot_json
+
+    hub, report = _telemetry_run(args)
+    text = {
+        "json": snapshot_json,
+        "csv": snapshot_csv,
+        "prom": prometheus_text,
+    }[args.format](hub)
+    _write_or_print(text, args.out)
+    print(f"  makespan : {report.makespan_ns / 1e6:.3f} ms", file=sys.stderr)
+    print(f"  metrics  : {len(hub.registry.snapshot())} series",
+          file=sys.stderr)
+    return 0
+
+
 _EXPERIMENT_FILES = {
     "FIG1": "bench_fig1_partitioning.py",
     "FIG2": "bench_fig2_framework.py",
@@ -184,6 +269,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=10)
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(fn=_cmd_demo)
+
+    def add_telemetry_args(p: argparse.ArgumentParser) -> None:
+        # keep in sync with repro.presets.NODE_PRESETS (not imported here:
+        # parser construction must stay light for every subcommand)
+        p.add_argument("preset", nargs="?", default="board",
+                       choices=("board", "chassis", "hpc-board", "mini"),
+                       help="node preset to run on")
+        p.add_argument("--layers", type=int, default=6)
+        p.add_argument("--width", type=int, default=10)
+        p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("trace", help="instrumented run -> Perfetto trace JSON")
+    add_telemetry_args(p)
+    p.add_argument("--out", default="trace.json", help="trace file path")
+    p.add_argument("--metrics-out", default=None,
+                   help="also write the metrics snapshot JSON here")
+    p.add_argument("--events-out", default=None,
+                   help="also write the structured event log JSON here")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("metrics", help="instrumented run -> metrics snapshot")
+    add_telemetry_args(p)
+    p.add_argument("--format", choices=("json", "csv", "prom"), default="json")
+    p.add_argument("--out", default=None, help="output path (default stdout)")
+    p.set_defaults(fn=_cmd_metrics)
 
     p = sub.add_parser("experiment", help="run one DESIGN.md experiment")
     p.add_argument("id", help="experiment id, e.g. FIG1 or CLAIM-COMPRESS")

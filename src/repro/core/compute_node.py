@@ -85,6 +85,13 @@ class ComputeNode:
     def __len__(self) -> int:
         return len(self.workers)
 
+    def attach_telemetry(self, hub) -> None:
+        """Route this node's Workers and NoC into a telemetry hub."""
+        from repro.telemetry.wiring import attach_node
+
+        if hub is not None and hub.enabled:
+            attach_node(hub, self)
+
     def worker(self, worker_id: int) -> Worker:
         return self.workers[worker_id]
 

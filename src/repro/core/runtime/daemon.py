@@ -47,6 +47,7 @@ class ReconfigurationDaemon:
         window_ns: Optional[float] = None,
         max_loads_per_period: int = 2,
         min_benefit_ns: float = 0.0,
+        telemetry=None,
     ) -> None:
         if period_ns <= 0:
             raise ValueError("period must be positive")
@@ -61,6 +62,7 @@ class ReconfigurationDaemon:
         self.window_ns = window_ns if window_ns is not None else 4 * period_ns
         self.max_loads_per_period = max_loads_per_period
         self.min_benefit_ns = min_benefit_ns
+        self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
         self.stats = DaemonStats()
         self._running = True
 
@@ -122,6 +124,14 @@ class ReconfigurationDaemon:
             if region is not None:
                 self.stats.loads_triggered += 1
                 self.stats.functions_loaded.append(function)
+                if self.telemetry is not None:
+                    self.telemetry.event(
+                        "daemon.load",
+                        f"{self.node.name}.daemon",
+                        function=function,
+                        worker=worker.worker_id,
+                        benefit_ns=benefit,
+                    )
 
     def run(self) -> Generator:
         """The daemon's periodic loop (spawn as a simulation process)."""

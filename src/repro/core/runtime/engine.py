@@ -63,6 +63,7 @@ class ExecutionEngine:
         energy_weight: float = 0.0,
         distribution_policy: DistributionPolicy = DistributionPolicy(),
         tracer=None,
+        telemetry=None,
     ) -> None:
         self.node = node
         self.registry = registry
@@ -71,6 +72,9 @@ class ExecutionEngine:
         self.unilogic = UnilogicDomain(node)
         self.selector = selector
         self.retrain_every = retrain_every
+        self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
+        if self.telemetry is not None and tracer is None:
+            tracer = self.telemetry.tracer
 
         self.queues: List[LocalWorkQueue] = [
             LocalWorkQueue(node.sim, w.worker_id) for w in node.workers
@@ -93,6 +97,7 @@ class ExecutionEngine:
                 energy_weight=energy_weight,
                 allow_hardware=allow_hardware,
                 tracer=tracer,
+                telemetry=self.telemetry,
             )
             for w in node.workers
         ]
@@ -106,7 +111,12 @@ class ExecutionEngine:
                 registry,
                 self.history,
                 period_ns=daemon_period_ns,
+                telemetry=self.telemetry,
             )
+        if self.telemetry is not None:
+            from repro.telemetry.wiring import attach_engine
+
+            attach_engine(self.telemetry, self, prefix=f"{node.name}.runtime")
 
         self._scheduler_procs: List[Process] = []
         self._daemon_proc: Optional[Process] = None
@@ -159,6 +169,13 @@ class ExecutionEngine:
             if self.retrain_every and self.selector is not None:
                 if completed // self.retrain_every != (completed - len(items)) // self.retrain_every:
                     self.selector.train(self.history)
+                    if self.telemetry is not None:
+                        self.telemetry.event(
+                            "runtime.retrain",
+                            f"{self.node.name}.runtime",
+                            completed=completed,
+                            history=len(self.history),
+                        )
         return completed
 
     def _dataflow_driver(self, graph: TaskGraph) -> Generator:
@@ -198,10 +215,24 @@ class ExecutionEngine:
         self.start()
         finished = {}
         driver = self._dataflow_driver if dataflow else self._driver
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "runtime.run_start",
+                f"{self.node.name}.runtime",
+                tasks=len(graph),
+                dataflow=dataflow,
+            )
 
         def main() -> Generator:
             yield from driver(graph)
             finished["at"] = sim.now  # last task completion, not queue drain
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "runtime.run_end",
+                    f"{self.node.name}.runtime",
+                    tasks=len(graph),
+                    makespan_ns=sim.now - start,
+                )
             self.stop()
 
         spawn(sim, main(), name="engine")

@@ -55,15 +55,27 @@ class CounterSnapshot:
 
 
 class PerformanceMonitor:
-    """Reads one Worker's counters (cache, DRAM, SMMU, fabric)."""
+    """Reads one Worker's counters (cache, DRAM, SMMU, fabric).
 
-    def __init__(self, worker: Worker) -> None:
+    With a telemetry hub the readings come from the machine-wide
+    metrics registry (the Worker is attached on construction if it is
+    not already), so the monitor observes exactly what every other
+    consumer of the hub sees.  Without a hub it falls back to reading
+    the component counters directly -- the pre-telemetry behaviour.
+    """
+
+    def __init__(self, worker: Worker, telemetry=None) -> None:
         self.worker = worker
+        self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
+        if self.telemetry is not None and not self.telemetry.has_collector(worker.name):
+            from repro.telemetry.wiring import attach_worker
+
+            attach_worker(self.telemetry, worker)
         self.snapshots: List[CounterSnapshot] = []
 
-    def read(self) -> CounterSnapshot:
+    def _read_direct(self) -> CounterSnapshot:
         w = self.worker
-        snap = CounterSnapshot(
+        return CounterSnapshot(
             timestamp=w.sim.now,
             sw_calls=w.sw_calls,
             hw_calls=w.hw_calls,
@@ -73,6 +85,32 @@ class PerformanceMonitor:
             dram_row_hit_rate=w.dram.row_hit_rate,
             reconfigurations=w.reconfig.reconfigurations,
             smmu_tlb_hit_rate=w.smmu.stats.tlb_hit_rate,
+        )
+
+    def _read_from_hub(self) -> CounterSnapshot:
+        hub = self.telemetry
+        hub.collect()
+
+        def c(suffix: str) -> float:
+            return hub.registry.counter(f"{self.worker.name}.{suffix}").value
+
+        row_accesses = c("dram.row_hits") + c("dram.row_misses")
+        tlb_lookups = c("smmu.tlb_hits") + c("smmu.tlb_misses")
+        return CounterSnapshot(
+            timestamp=self.worker.sim.now,
+            sw_calls=int(c("sw_calls")),
+            hw_calls=int(c("hw_calls")),
+            cache_hits=int(c("cache.hits")),
+            cache_misses=int(c("cache.misses")),
+            dram_bytes=int(c("dram.bytes")),
+            dram_row_hit_rate=c("dram.row_hits") / row_accesses if row_accesses else 0.0,
+            reconfigurations=int(c("fabric.reconfigurations")),
+            smmu_tlb_hit_rate=c("smmu.tlb_hits") / tlb_lookups if tlb_lookups else 0.0,
+        )
+
+    def read(self) -> CounterSnapshot:
+        snap = (
+            self._read_from_hub() if self.telemetry is not None else self._read_direct()
         )
         self.snapshots.append(snap)
         return snap

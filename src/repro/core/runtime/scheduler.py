@@ -61,6 +61,7 @@ class WorkerScheduler:
         energy_weight: float = 0.0,
         allow_hardware: bool = True,
         tracer=None,
+        telemetry=None,
     ) -> None:
         self.node = node
         self.worker_id = worker_id
@@ -72,6 +73,9 @@ class WorkerScheduler:
         self.selector = selector
         self.energy_weight = energy_weight
         self.allow_hardware = allow_hardware
+        self.telemetry = telemetry
+        if tracer is None and telemetry is not None and telemetry.enabled:
+            tracer = telemetry.tracer
         self.tracer = tracer
         self.tasks_done = 0
         self.hw_chosen = 0
@@ -117,6 +121,16 @@ class WorkerScheduler:
         task = item.task
         kernel = self.registry.kernel(task.function)
         device = self._decide_device(task)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "scheduler.decision",
+                self.worker.name,
+                task=task.task_id,
+                function=task.function,
+                device=device,
+                items=task.items,
+                queue_depth=self.queue.depth,
+            )
         start = self.node.sim.now
         if device == "hw":
             self.hw_chosen += 1

@@ -59,6 +59,10 @@ class ReconfigurationController:
         self.use_compression = use_compression
         self.name = name
         self._port_lock = Resource(sim, capacity=1, name=f"{name}.cfgport")
+        # armed by repro.telemetry.wiring.attach_fabric
+        self.telemetry = None
+        self.tel_lane = name or "fabric"
+        self._span_seq = 0
         self.reconfigurations = 0
         self.evictions = 0
         self.config_bytes = 0
@@ -97,7 +101,27 @@ class ReconfigurationController:
         target.state = RegionState.LOADING
         target.module = None
         load_ns = self.port.load_ns(stream)
-        yield from self._port_lock.use(load_ns)
+        tel = self.telemetry
+        span_name = None
+        if tel is not None:
+            # seq-suffixed so concurrent loads of one module never
+            # collide on the (lane, name) open-span key
+            span_name = f"reconfig:{module.name}#{self._span_seq}"
+            self._span_seq += 1
+            tel.begin(self.tel_lane, span_name)
+        try:
+            yield from self._port_lock.use(load_ns)
+        finally:
+            if tel is not None:
+                tel.end(self.tel_lane, span_name)
+                tel.event(
+                    "fabric.reconfig",
+                    self.tel_lane,
+                    module=module.name,
+                    region=target.region_id,
+                    bytes=stream.size_bytes,
+                    load_ns=load_ns,
+                )
 
         self.reconfigurations += 1
         self.config_bytes += stream.size_bytes

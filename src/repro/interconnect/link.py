@@ -56,6 +56,10 @@ class Link:
         self.bytes_carried = 0
         self.messages_carried = 0
         self.energy_pj = 0.0
+        # armed by repro.telemetry.wiring.attach_link
+        self.telemetry = None
+        self.tel_queue = None
+        self.tel_latency = None
 
     # ------------------------------------------------------------------
     def cost(self, size_bytes: int) -> float:
@@ -79,7 +83,14 @@ class Link:
             yield from link.transfer(4096)
         """
         self.account(size_bytes)
+        if self.telemetry is None:
+            yield from self.channel.use(self.cost(size_bytes), priority=priority)
+            return
+        start = self.sim.now
+        self.tel_queue.set(float(self.channel.queue_length))
         yield from self.channel.use(self.cost(size_bytes), priority=priority)
+        self.tel_queue.set(float(self.channel.queue_length))
+        self.tel_latency.record(self.sim.now - start)
 
     @property
     def utilization(self) -> float:

@@ -46,6 +46,9 @@ class Network:
         self._route_cache: Dict[Tuple[Hashable, Hashable], Route] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        # armed by repro.telemetry.wiring.attach_network
+        self.telemetry = None
+        self.tel_msg_latency = None
 
     # ------------------------------------------------------------------
     # construction
@@ -143,6 +146,8 @@ class Network:
             yield from link.transfer(wire, priority=msg.kind.priority)
         self.bytes_sent += wire * max(1, route.hops)
         msg.delivered_at = self.sim.now
+        if self.telemetry is not None:
+            self.tel_msg_latency.record(msg.delivered_at - msg.issued_at)
         return msg
 
     # ------------------------------------------------------------------

@@ -91,6 +91,24 @@ def exascale_machine() -> MachineParams:
     )
 
 
+#: Named Compute-Node presets the CLI's runtime commands accept
+#: (``python -m repro trace <preset>`` / ``metrics <preset>``).
+NODE_PRESETS = {
+    "mini": lambda: board_node(workers=2),
+    "board": lambda: board_node(),
+    "hpc-board": lambda: board_node(worker=hpc_worker()),
+    "chassis": lambda: chassis_node(),
+}
+
+
+def node_preset(name: str) -> ComputeNodeParams:
+    """Resolve one :data:`NODE_PRESETS` entry by name."""
+    if name not in NODE_PRESETS:
+        known = ", ".join(sorted(NODE_PRESETS))
+        raise KeyError(f"unknown preset {name!r}; choose from: {known}")
+    return NODE_PRESETS[name]()
+
+
 def standard_kernel_suite() -> List:
     """Every characterized kernel at its default size."""
     return [

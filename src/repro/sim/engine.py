@@ -72,6 +72,10 @@ class Simulator:
         self._seq: int = 0
         self._running: bool = False
         self._processed: int = 0
+        # Optional telemetry hub (repro.telemetry).  Left as a plain
+        # attribute so the kernel stays dependency-free; when None the
+        # only per-event cost is one identity check in step().
+        self.telemetry: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -124,6 +128,8 @@ class Simulator:
                 continue
             self.now = event.time
             self._processed += 1
+            if self.telemetry is not None:
+                self.telemetry.sim_event_fired(event)
             event.callback(*event.args)
             return True
         return False

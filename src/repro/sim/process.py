@@ -179,6 +179,8 @@ class Process(Waitable):
         self.name = name or getattr(gen, "__name__", "process")
         self.done = Signal(sim)
         self._alive = True
+        if sim.telemetry is not None:
+            sim.telemetry.process_spawned(self)
         sim.schedule(0.0, self._resume, None)
 
     # -- Waitable protocol -------------------------------------------------

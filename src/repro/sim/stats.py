@@ -25,6 +25,12 @@ class Counter:
         self.value += amount
         self.events += 1
 
+    def set(self, value: float) -> None:
+        """Overwrite the accumulated value (collectors mirroring a
+        component's own monotonic counter into the registry)."""
+        self.value = value
+        self.events += 1
+
     def reset(self) -> None:
         self.value = 0.0
         self.events = 0
@@ -34,20 +40,30 @@ class Counter:
 
 
 class Monitor:
-    """Collects samples and reports summary statistics."""
+    """Collects samples and reports summary statistics.
+
+    Mean/variance use Welford's online algorithm: the naive
+    sum-of-squares form loses all precision when values are large with
+    a small spread (e.g. timestamps in ns), because ``sumsq/n`` and
+    ``mean**2`` agree in their leading digits and the subtraction
+    cancels catastrophically.
+    """
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
         self._sum = 0.0
-        self._sumsq = 0.0
         self._min = math.inf
         self._max = -math.inf
 
     def record(self, value: float) -> None:
         self._n += 1
         self._sum += value
-        self._sumsq += value * value
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
         if value < self._min:
             self._min = value
         if value > self._max:
@@ -63,14 +79,13 @@ class Monitor:
 
     @property
     def mean(self) -> float:
-        return self._sum / self._n if self._n else 0.0
+        return self._mean if self._n else 0.0
 
     @property
     def variance(self) -> float:
         if self._n < 2:
             return 0.0
-        m = self.mean
-        return max(0.0, self._sumsq / self._n - m * m)
+        return max(0.0, self._m2 / self._n)
 
     @property
     def stdev(self) -> float:
@@ -198,11 +213,15 @@ class Histogram:
 class StatRegistry:
     """A namespace of named statistics shared by a simulated machine."""
 
+    #: default bin edges for latency-style histograms (ns, log-spaced)
+    DEFAULT_EDGES = [0.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7]
+
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.counters: Dict[str, Counter] = {}
         self.monitors: Dict[str, Monitor] = {}
         self.gauges: Dict[str, TimeWeighted] = {}
+        self.histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
@@ -219,6 +238,14 @@ class StatRegistry:
             self.gauges[name] = TimeWeighted(self.sim, initial, name)
         return self.gauges[name]
 
+    def histogram(self, name: str, bin_edges: Optional[List[float]] = None) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(
+                list(bin_edges) if bin_edges is not None else list(self.DEFAULT_EDGES),
+                name,
+            )
+        return self.histograms[name]
+
     def snapshot(self) -> Dict[str, float]:
         out: Dict[str, float] = {}
         for name, c in self.counters.items():
@@ -228,4 +255,12 @@ class StatRegistry:
             out[f"monitor.{name}.count"] = float(m.count)
         for name, g in self.gauges.items():
             out[f"gauge.{name}.avg"] = g.time_average()
+            out[f"gauge.{name}.max"] = g.maximum
+            out[f"gauge.{name}.last"] = g.value
+        for name, h in self.histograms.items():
+            out[f"histogram.{name}.count"] = float(h.count)
+            out[f"histogram.{name}.mean"] = h.mean
+            out[f"histogram.{name}.p50"] = h.percentile(50)
+            out[f"histogram.{name}.p95"] = h.percentile(95)
+            out[f"histogram.{name}.p99"] = h.percentile(99)
         return out

@@ -11,8 +11,9 @@ tooling.
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.engine import Simulator
 
@@ -59,19 +60,14 @@ class Tracer:
         span.end = self.sim.now
         return span
 
-    def span(self, lane: str, name: str):
-        """Context-manager-style tracing for plain (non-process) code."""
-        tracer = self
-
-        class _Ctx:
-            def __enter__(self):
-                return tracer.begin(lane, name)
-
-            def __exit__(self, *exc):
-                tracer.end(lane, name)
-                return False
-
-        return _Ctx()
+    @contextmanager
+    def span(self, lane: str, name: str) -> Iterator[Span]:
+        """Context-manager tracing for plain (non-process) code."""
+        span = self.begin(lane, name)
+        try:
+            yield span
+        finally:
+            self.end(lane, name)
 
     def instant(self, lane: str, name: str) -> Span:
         """A zero-duration marker."""
@@ -93,10 +89,18 @@ class Tracer:
     def busy_time(self, lane: str) -> float:
         return sum(s.duration or 0.0 for s in self.closed_spans() if s.lane == lane)
 
-    def utilization(self, lane: str) -> float:
-        if self.sim.now <= 0:
+    def utilization(self, lane: str, horizon: Optional[float] = None) -> float:
+        """Busy fraction of ``lane`` over ``horizon`` time units.
+
+        ``horizon`` must be the observation window the caller means
+        (e.g. a run's makespan); ``None`` explicitly selects the full
+        simulated time so far (``sim.now``).
+        """
+        if horizon is None:
+            horizon = self.sim.now
+        if horizon <= 0:
             return 0.0
-        return self.busy_time(lane) / self.sim.now
+        return self.busy_time(lane) / horizon
 
     # ------------------------------------------------------------------
     def to_chrome_trace(self) -> str:

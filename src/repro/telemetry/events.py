@@ -1,0 +1,112 @@
+"""Structured telemetry events.
+
+Every event carries the simulated timestamp it happened at, the id of
+the component that emitted it (``node0.w1.cache``, ``sim``, ...), a
+dotted ``kind`` naming what happened (``scheduler.decision``,
+``fabric.reconfig``, ...) and free-form attributes.  The log is a
+bounded ring: under sustained pressure the oldest events are dropped
+and counted, never silently lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured occurrence on the simulated timeline."""
+
+    ts: float
+    kind: str
+    component: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ts": self.ts,
+            "kind": self.kind,
+            "component": self.component,
+            "attrs": dict(self.attrs),
+        }
+
+
+#: The schema every exported event dict must satisfy (validated by the
+#: CI smoke job and :func:`validate_event`).
+EVENT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["ts", "kind", "component", "attrs"],
+    "properties": {
+        "ts": {"type": "number", "minimum": 0},
+        "kind": {"type": "string", "minLength": 1},
+        "component": {"type": "string"},
+        "attrs": {"type": "object"},
+    },
+}
+
+
+def validate_event(payload: Dict[str, Any]) -> None:
+    """Check one exported event dict against :data:`EVENT_SCHEMA`.
+
+    A dependency-free structural check (the container has no
+    ``jsonschema``): raises ``ValueError`` on the first violation.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"event must be an object, got {type(payload).__name__}")
+    for key in EVENT_SCHEMA["required"]:
+        if key not in payload:
+            raise ValueError(f"event missing required field {key!r}: {payload}")
+    if not isinstance(payload["ts"], (int, float)) or payload["ts"] < 0:
+        raise ValueError(f"event ts must be a non-negative number: {payload['ts']!r}")
+    if not isinstance(payload["kind"], str) or not payload["kind"]:
+        raise ValueError(f"event kind must be a non-empty string: {payload['kind']!r}")
+    if not isinstance(payload["component"], str):
+        raise ValueError(f"event component must be a string: {payload['component']!r}")
+    if not isinstance(payload["attrs"], dict):
+        raise ValueError(f"event attrs must be an object: {payload['attrs']!r}")
+
+
+class EventLog:
+    """A bounded, append-only log of :class:`TelemetryEvent`."""
+
+    def __init__(self, capacity: Optional[int] = 100_000) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[TelemetryEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def append(self, event: TelemetryEvent) -> None:
+        self._events.append(event)
+        self.emitted += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the ring bound."""
+        return self.emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TelemetryEvent]:
+        return iter(self._events)
+
+    def select(
+        self,
+        kind: Optional[str] = None,
+        component: Optional[str] = None,
+    ) -> List[TelemetryEvent]:
+        """Events matching ``kind`` / ``component`` prefixes."""
+        out = []
+        for e in self._events:
+            if kind is not None and not e.kind.startswith(kind):
+                continue
+            if component is not None and not e.component.startswith(component):
+                continue
+            out.append(e)
+        return out
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [e.to_dict() for e in self._events]

@@ -98,3 +98,51 @@ class TestCli:
     def test_experiment_runs_bench(self):
         # the cheapest experiment end to end through the CLI wrapper
         assert main(["experiment", "claim-gw"]) == 0
+
+
+class TestTelemetryCommands:
+    def test_cli_preset_choices_match_registry(self):
+        """The hardcoded argparse choices must track NODE_PRESETS."""
+        from repro.cli import build_parser
+        from repro.presets import NODE_PRESETS
+
+        parser = build_parser()
+        args = parser.parse_args(["trace", "mini"])
+        assert args.preset == "mini"
+        sub = next(
+            a for a in parser._subparsers._group_actions[0].choices["trace"]._actions
+            if a.dest == "preset"
+        )
+        assert sorted(sub.choices) == sorted(NODE_PRESETS)
+
+    def test_trace_rejects_unknown_preset_before_running(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "no-such-preset"])
+
+    def test_trace_writes_valid_outputs(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_chrome_trace, validate_event
+
+        trace = tmp_path / "t.json"
+        events = tmp_path / "e.json"
+        rc = main([
+            "trace", "mini", "--layers", "2", "--width", "4",
+            "--out", str(trace), "--events-out", str(events),
+        ])
+        assert rc == 0
+        assert validate_chrome_trace(trace.read_text()) > 0
+        for ev in json.loads(events.read_text()):
+            validate_event(ev)
+
+    def test_metrics_csv_to_stdout(self, capsys):
+        rc = main(["metrics", "mini", "--layers", "2", "--width", "4",
+                   "--format", "csv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if "," in l]
+        assert lines[0] == "metric,value"
+        # metric names are clean single-comma rows (link names sanitized)
+        for line in lines[1:]:
+            name, value = line.split(",")
+            float(value)

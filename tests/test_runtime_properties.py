@@ -63,8 +63,31 @@ def test_dataflow_and_barrier_complete_identical_work(params):
     dataflow = build_engine(2).run_graph(graph_b, dataflow=True)
     assert barrier.tasks == dataflow.tasks
     assert barrier.sw_calls == dataflow.sw_calls
-    # dataflow never waits longer than the barrier driver (same decisions,
-    # strictly fewer synchronization constraints)
+    assert barrier.makespan_ns > 0 and dataflow.makespan_ns > 0
+    # NOTE: pointwise makespan dominance (dataflow <= barrier) does NOT
+    # hold with > 1 worker.  The original "same decisions, strictly fewer
+    # synchronization constraints" rationale was over-strict: the work
+    # distributor places each task using the queue depths *at submission
+    # time*, and the two drivers submit at different moments (per-layer
+    # vs. per-dependence-resolution), so they can choose different
+    # workers for the same task.  An unlucky dataflow placement can then
+    # serialize a critical chain the barrier driver happened to spread
+    # out (observed on ~6% of random DAGs).  Dominance is only a theorem
+    # when placement is forced identical -- which the single-worker
+    # property below pins down.
+
+
+@given(params=dag_params)
+@settings(max_examples=15, deadline=None)
+def test_dataflow_dominates_barrier_when_placement_is_forced(params):
+    """With one worker both drivers place every task identically, so
+    removing the layer barriers can only shrink (or keep) the makespan."""
+    graph_a = make_layered_dag(num_workers=1, functions=FUNCTIONS, **params)
+    graph_b = make_layered_dag(num_workers=1, functions=FUNCTIONS, **params)
+    barrier = build_engine(1).run_graph(graph_a)
+    dataflow = build_engine(1).run_graph(graph_b, dataflow=True)
+    assert barrier.tasks == dataflow.tasks
+    assert barrier.sw_calls == dataflow.sw_calls
     assert dataflow.makespan_ns <= barrier.makespan_ns + 1e-6
 
 
