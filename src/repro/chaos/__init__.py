@@ -1,0 +1,35 @@
+"""Machine-wide fault injection (chaos testing) for the simulated machine.
+
+ECOSCALE argues resilience must be a first-class property of an exascale
+machine ("to provide resilience, the Workers employ reconfigurable
+accelerators", Section 2).  This package is the adversary that claim is
+tested against: a :class:`ChaosController` injects crash-stop and
+transient Worker failures, link degradation/outages and MPI message
+loss from a seeded deterministic plan, and
+:func:`run_chaos_experiment` wraps a baseline-vs-faulted pair of runs
+into a :class:`ChaosReport` with a result-integrity verdict.
+"""
+
+from repro.chaos.controller import (
+    ChaosConfig,
+    ChaosController,
+    PlannedFault,
+)
+from repro.chaos.experiment import (
+    CHAOS_PRESETS,
+    ChaosPreset,
+    ChaosReport,
+    graph_signature,
+    run_chaos_experiment,
+)
+
+__all__ = [
+    "CHAOS_PRESETS",
+    "ChaosConfig",
+    "ChaosController",
+    "ChaosPreset",
+    "ChaosReport",
+    "PlannedFault",
+    "graph_signature",
+    "run_chaos_experiment",
+]

@@ -1,0 +1,341 @@
+"""The machine-wide fault injector.
+
+A :class:`ChaosController` schedules faults at every layer of the
+simulated machine -- crash-stop and transient Worker failures (runtime),
+link degradation and outages (interconnect), message loss/duplication
+(MPI) -- from either an explicit plan or a seeded-random generator.
+
+Determinism contract: the fault *plan* is a pure function of the chaos
+seed and configuration (never of wall-clock or dict order), and every
+in-flight random decision (link drops, message losses) draws from a
+dedicated per-target RNG seeded from the master seed.  Same seed, same
+machine, same workload => identical fault schedule and identical
+recovery metrics -- the property the CI chaos smoke job diffs for.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.interconnect.link import Link, LinkFault
+from repro.mpi.comm import Communicator, MessageFaults
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs of the seeded-random fault generator.
+
+    Injection times are drawn uniformly inside ``window_ns`` (start,
+    end) -- callers typically derive the window from a baseline run's
+    makespan so faults land mid-graph.
+    """
+
+    worker_crashes: int = 1
+    transient_fraction: float = 0.0     # fraction of crashes that heal
+    worker_downtime_ns: float = 300_000.0
+    link_degradations: int = 1
+    link_drop_rate: float = 0.05
+    link_latency_multiplier: float = 4.0
+    link_outage_ns: float = 0.0
+    link_duration_ns: Optional[float] = None   # None = degraded until the end
+    mpi_drop_rate: float = 0.0
+    mpi_duplicate_rate: float = 0.0
+    window_ns: tuple = (100_000.0, 500_000.0)
+
+    def __post_init__(self) -> None:
+        if self.worker_crashes < 0 or self.link_degradations < 0:
+            raise ValueError("fault counts must be non-negative")
+        if not 0.0 <= self.transient_fraction <= 1.0:
+            raise ValueError("transient fraction must be in [0, 1]")
+        start, end = self.window_ns
+        if start < 0 or end < start:
+            raise ValueError(f"invalid injection window {self.window_ns}")
+
+
+@dataclass
+class PlannedFault:
+    """One scheduled fault: what, where, when (plus its apply thunk)."""
+
+    at_ns: float
+    layer: str          # "worker" | "link" | "mpi"
+    kind: str           # "crash-stop" | "transient" | "degrade" | "restore" | "lossy"
+    target: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    apply: Optional[Callable[[], None]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "at_ns": self.at_ns,
+            "layer": self.layer,
+            "kind": self.kind,
+            "target": self.target,
+            "params": {k: self.params[k] for k in sorted(self.params)},
+        }
+
+
+class ChaosController:
+    """Schedules and injects faults across the whole simulated machine."""
+
+    def __init__(self, sim: Simulator, seed: int = 0, telemetry=None) -> None:
+        self.sim = sim
+        self.seed = seed
+        self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
+        self.plan: List[PlannedFault] = []
+        self.injected: List[Dict[str, Any]] = []
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def _rng(self, stream: str) -> random.Random:
+        """A dedicated RNG per (seed, stream) -- independent of call order."""
+        return random.Random(f"{self.seed}:{stream}")
+
+    def _record(self, fault: PlannedFault) -> None:
+        entry = dict(fault.to_dict(), injected_at=self.sim.now)
+        self.injected.append(entry)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "chaos.inject",
+                "chaos",
+                layer=fault.layer,
+                fault_kind=fault.kind,
+                target=fault.target,
+                **fault.params,
+            )
+
+    def _add(self, fault: PlannedFault) -> PlannedFault:
+        if self._armed:
+            raise RuntimeError("chaos plan already armed; build the plan first")
+        self.plan.append(fault)
+        return fault
+
+    # ------------------------------------------------------------------
+    # explicit fault scheduling
+    # ------------------------------------------------------------------
+    def crash_worker(
+        self,
+        engine,
+        worker_id: int,
+        at_ns: float,
+        downtime_ns: Optional[float] = None,
+    ) -> PlannedFault:
+        """Crash-stop Worker ``worker_id`` at ``at_ns``; a ``downtime_ns``
+        makes the failure transient (the Worker heals and rejoins)."""
+        transient = downtime_ns is not None
+        fault = self._add(
+            PlannedFault(
+                at_ns=at_ns,
+                layer="worker",
+                kind="transient" if transient else "crash-stop",
+                target=f"worker{worker_id}",
+                params=(
+                    {"downtime_ns": downtime_ns} if transient else {}
+                ),
+                apply=lambda: engine.crash_worker(worker_id, permanent=not transient),
+            )
+        )
+        if transient:
+            self._add(
+                PlannedFault(
+                    at_ns=at_ns + downtime_ns,
+                    layer="worker",
+                    kind="restore",
+                    target=f"worker{worker_id}",
+                    apply=lambda: engine.recover_worker(worker_id),
+                )
+            )
+        return fault
+
+    def degrade_link(
+        self,
+        link: Link,
+        at_ns: float,
+        drop_rate: float = 0.0,
+        latency_multiplier: float = 1.0,
+        outage_ns: float = 0.0,
+        duration_ns: Optional[float] = None,
+    ) -> PlannedFault:
+        """Degrade ``link`` at ``at_ns``: lossy (``drop_rate``), slow
+        (``latency_multiplier``) and/or hard-down for ``outage_ns``.
+        ``duration_ns`` restores the link to healthy afterwards."""
+        rng = self._rng(f"link:{link.name}")
+
+        def apply() -> None:
+            fault = LinkFault(
+                rng=rng,
+                drop_rate=drop_rate,
+                latency_multiplier=latency_multiplier,
+            )
+            if outage_ns > 0:
+                fault.down_until_ns = self.sim.now + outage_ns
+            link.fault = fault
+
+        fault = self._add(
+            PlannedFault(
+                at_ns=at_ns,
+                layer="link",
+                kind="degrade",
+                target=link.name,
+                params={
+                    "drop_rate": drop_rate,
+                    "latency_multiplier": latency_multiplier,
+                    "outage_ns": outage_ns,
+                },
+                apply=apply,
+            )
+        )
+        if duration_ns is not None:
+            def restore() -> None:
+                link.fault = None
+
+            self._add(
+                PlannedFault(
+                    at_ns=at_ns + duration_ns,
+                    layer="link",
+                    kind="restore",
+                    target=link.name,
+                    apply=restore,
+                )
+            )
+        return fault
+
+    def lose_messages(
+        self,
+        comm: Communicator,
+        at_ns: float,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        duration_ns: Optional[float] = None,
+    ) -> PlannedFault:
+        """Arm message loss/duplication on an MPI communicator."""
+        rng = self._rng(f"mpi:{comm.name}")
+
+        def apply() -> None:
+            comm.faults = MessageFaults(
+                rng=rng, drop_rate=drop_rate, duplicate_rate=duplicate_rate
+            )
+
+        fault = self._add(
+            PlannedFault(
+                at_ns=at_ns,
+                layer="mpi",
+                kind="lossy",
+                target=comm.name,
+                params={"drop_rate": drop_rate, "duplicate_rate": duplicate_rate},
+                apply=apply,
+            )
+        )
+        if duration_ns is not None:
+            def restore() -> None:
+                comm.faults = None
+
+            self._add(
+                PlannedFault(
+                    at_ns=at_ns + duration_ns,
+                    layer="mpi",
+                    kind="restore",
+                    target=comm.name,
+                    apply=restore,
+                )
+            )
+        return fault
+
+    # ------------------------------------------------------------------
+    # seeded-random plan generation
+    # ------------------------------------------------------------------
+    def schedule_random(
+        self,
+        engine,
+        links: List[Link],
+        comm: Optional[Communicator] = None,
+        config: ChaosConfig = ChaosConfig(),
+    ) -> List[PlannedFault]:
+        """Build a random-but-seeded fault plan over one engine's Workers,
+        a set of links, and (optionally) an MPI communicator."""
+        rng = self._rng("schedule")
+        start, end = config.window_ns
+        planned: List[PlannedFault] = []
+
+        num_workers = len(engine.schedulers)
+        crashes = min(config.worker_crashes, max(0, num_workers - 1))
+        victims = rng.sample(range(num_workers), crashes) if crashes else []
+        for worker_id in victims:
+            at = rng.uniform(start, end)
+            transient = rng.random() < config.transient_fraction
+            planned.append(
+                self.crash_worker(
+                    engine,
+                    worker_id,
+                    at_ns=at,
+                    downtime_ns=config.worker_downtime_ns if transient else None,
+                )
+            )
+
+        degradations = min(config.link_degradations, len(links))
+        chosen = rng.sample(range(len(links)), degradations) if degradations else []
+        for index in chosen:
+            at = rng.uniform(start, end)
+            planned.append(
+                self.degrade_link(
+                    links[index],
+                    at_ns=at,
+                    drop_rate=config.link_drop_rate,
+                    latency_multiplier=config.link_latency_multiplier,
+                    outage_ns=config.link_outage_ns,
+                    duration_ns=config.link_duration_ns,
+                )
+            )
+
+        if comm is not None and (config.mpi_drop_rate or config.mpi_duplicate_rate):
+            planned.append(
+                self.lose_messages(
+                    comm,
+                    at_ns=rng.uniform(start, end),
+                    drop_rate=config.mpi_drop_rate,
+                    duplicate_rate=config.mpi_duplicate_rate,
+                )
+            )
+        return planned
+
+    # ------------------------------------------------------------------
+    # arming and reporting
+    # ------------------------------------------------------------------
+    def arm(self) -> int:
+        """Schedule every planned fault on the simulator.  Idempotent-safe:
+        a plan can only be armed once."""
+        if self._armed:
+            raise RuntimeError("chaos plan already armed")
+        self._armed = True
+        self.plan.sort(key=lambda f: (f.at_ns, f.layer, f.kind, f.target))
+        for fault in self.plan:
+            def fire(f: PlannedFault = fault) -> None:
+                f.apply()
+                self._record(f)
+
+            self.sim.schedule_at(max(fault.at_ns, self.sim.now), fire)
+        return len(self.plan)
+
+    def plan_json(self, indent: Optional[int] = None) -> str:
+        """The fault schedule as canonical JSON (determinism diffing)."""
+        return json.dumps(
+            [f.to_dict() for f in sorted(
+                self.plan, key=lambda f: (f.at_ns, f.layer, f.kind, f.target)
+            )],
+            indent=indent,
+            sort_keys=True,
+        )
+
+    def events_json(self, indent: Optional[int] = None) -> str:
+        """Faults actually injected, with injection timestamps."""
+        return json.dumps(self.injected, indent=indent, sort_keys=True)
+
+    @property
+    def faults_planned(self) -> int:
+        return len(self.plan)
+
+    @property
+    def faults_injected(self) -> int:
+        return len(self.injected)

@@ -1,0 +1,219 @@
+"""End-to-end chaos experiments: baseline run, fault run, verdict.
+
+A chaos experiment runs the same workload twice on identical machines:
+
+1. **baseline** -- fault tolerance off, no faults (today's behaviour),
+2. **chaos** -- the self-healing runtime armed, with a seeded fault
+   plan injected mid-graph (the window is derived from the baseline
+   makespan, so "mid-graph" is deterministic, not guessed).
+
+The :class:`ChaosReport` then answers the only question that matters:
+did every task still complete (result integrity), and what did survival
+cost (makespan degradation, retries, work lost, time-to-recover)?
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps.taskgraph import TaskGraph, make_layered_dag
+from repro.chaos.controller import ChaosConfig, ChaosController
+from repro.core.compute_node import ComputeNode
+from repro.core.runtime import ExecutionEngine, FaultTolerancePolicy, RunReport
+from repro.presets import compiled_suite, node_preset
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class ChaosPreset:
+    """One named chaos scenario: workload + machine + fault mix."""
+
+    node: str                   # repro.presets.NODE_PRESETS key
+    layers: int = 6
+    width: int = 10
+    graph_seed: int = 1
+    worker_crashes: int = 1
+    transient_fraction: float = 0.0
+    worker_downtime_ns: float = 300_000.0
+    link_degradations: int = 1
+    link_drop_rate: float = 0.05
+    link_latency_multiplier: float = 4.0
+    window_fraction: Tuple[float, float] = (0.2, 0.6)
+    heartbeat_period_ns: float = 20_000.0
+    max_attempts: int = 4
+
+
+#: The scenarios ``python -m repro chaos <preset>`` accepts.  ``mini``
+#: is the CI smoke configuration (small and fast, transient crash so
+#: the Worker also exercises the rejoin path); ``board`` is the
+#: acceptance scenario from DESIGN.md -- kill one Worker mid-graph and
+#: degrade one inter-Worker link on the default 4-Worker board.
+CHAOS_PRESETS: Dict[str, ChaosPreset] = {
+    "mini": ChaosPreset(
+        node="mini", layers=4, width=6,
+        transient_fraction=1.0, worker_downtime_ns=200_000.0,
+        link_latency_multiplier=2.0,
+    ),
+    "board": ChaosPreset(node="board"),
+    "board-transient": ChaosPreset(node="board", transient_fraction=1.0),
+    "chassis": ChaosPreset(
+        node="chassis", width=20, worker_crashes=2, link_degradations=2,
+    ),
+}
+
+
+def graph_signature(graph: TaskGraph) -> Tuple:
+    """A workload signature independent of global task-id allocation.
+
+    ``make_layered_dag`` draws task ids from a process-global counter,
+    so two identical graphs built in one process carry different ids;
+    compare what the tasks *are* -- (function, items, layer) in layer
+    order -- not how they were numbered.
+    """
+    return tuple(
+        (task.function, task.items, depth)
+        for depth, layer in enumerate(graph.layers())
+        for task in layer
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Verdict of one chaos experiment."""
+
+    preset: str
+    seed: int
+    baseline: RunReport
+    chaos: RunReport
+    faults_planned: int
+    faults_injected: int
+    plan: List[Dict[str, Any]] = field(default_factory=list)
+    injected: List[Dict[str, Any]] = field(default_factory=list)
+    workload_match: bool = True
+
+    @property
+    def integrity_ok(self) -> bool:
+        """Same workload, every task completed despite the faults."""
+        return (
+            self.workload_match
+            and self.chaos.tasks == self.baseline.tasks
+            and self.chaos.tasks_unrecovered == 0
+        )
+
+    @property
+    def slowdown(self) -> float:
+        """Chaos makespan relative to the fault-free baseline."""
+        if self.baseline.makespan_ns <= 0:
+            return 1.0
+        return self.chaos.makespan_ns / self.baseline.makespan_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "preset": self.preset,
+            "seed": self.seed,
+            "integrity_ok": self.integrity_ok,
+            "slowdown": self.slowdown,
+            "faults_planned": self.faults_planned,
+            "faults_injected": self.faults_injected,
+            "plan": self.plan,
+            "injected": self.injected,
+            "baseline": {
+                "makespan_ns": self.baseline.makespan_ns,
+                "tasks": self.baseline.tasks,
+            },
+            "chaos": {
+                "makespan_ns": self.chaos.makespan_ns,
+                "tasks": self.chaos.tasks,
+                "worker_failures": self.chaos.worker_failures,
+                "tasks_retried": self.chaos.tasks_retried,
+                "tasks_unrecovered": self.chaos.tasks_unrecovered,
+                "mean_detection_ns": self.chaos.mean_detection_ns,
+                "mean_recovery_ns": self.chaos.mean_recovery_ns,
+                "work_lost_ns": self.chaos.work_lost_ns,
+                "fabric_recoveries": self.chaos.fabric_recoveries,
+                "fabric_recovery_failures": self.chaos.fabric_recovery_failures,
+            },
+        }
+
+    def events_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON of the experiment (CI determinism diffing)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def _build_run(preset: ChaosPreset, registry, library, **engine_kwargs):
+    """One fresh (sim, node, engine, graph) quadruple for the preset."""
+    sim = Simulator()
+    node = ComputeNode(sim, node_preset(preset.node))
+    engine = ExecutionEngine(
+        node, registry, library,
+        use_daemon=True, daemon_period_ns=100_000.0,
+        **engine_kwargs,
+    )
+    graph = make_layered_dag(
+        layers=preset.layers, width=preset.width, num_workers=len(node),
+        functions=("saxpy", "stencil5", "montecarlo"), seed=preset.graph_seed,
+    )
+    return sim, node, engine, graph
+
+
+def run_chaos_experiment(
+    preset_name: str,
+    seed: int = 0,
+    telemetry=None,
+    compiled=None,
+) -> ChaosReport:
+    """Run one named chaos scenario end to end.
+
+    ``compiled`` lets callers pass a pre-built ``(registry, library)``
+    pair (the HLS flow is the slow part); ``telemetry`` instruments the
+    chaos run only.
+    """
+    if preset_name not in CHAOS_PRESETS:
+        known = ", ".join(sorted(CHAOS_PRESETS))
+        raise KeyError(f"unknown chaos preset {preset_name!r}; choose from: {known}")
+    preset = CHAOS_PRESETS[preset_name]
+    registry, library = compiled if compiled is not None else compiled_suite(max_variants=1)
+
+    # --- baseline: fault tolerance off, no faults ----------------------
+    _, _, baseline_engine, baseline_graph = _build_run(preset, registry, library)
+    baseline_report = baseline_engine.run_graph(baseline_graph)
+
+    # --- chaos: self-healing runtime + seeded fault plan ---------------
+    policy = FaultTolerancePolicy(
+        heartbeat_period_ns=preset.heartbeat_period_ns,
+        max_attempts=preset.max_attempts,
+    )
+    sim, node, engine, graph = _build_run(
+        preset, registry, library,
+        fault_tolerance=policy, telemetry=telemetry,
+    )
+    lo, hi = preset.window_fraction
+    config = ChaosConfig(
+        worker_crashes=preset.worker_crashes,
+        transient_fraction=preset.transient_fraction,
+        worker_downtime_ns=preset.worker_downtime_ns,
+        link_degradations=preset.link_degradations,
+        link_drop_rate=preset.link_drop_rate,
+        link_latency_multiplier=preset.link_latency_multiplier,
+        window_ns=(lo * baseline_report.makespan_ns, hi * baseline_report.makespan_ns),
+    )
+    controller = ChaosController(sim, seed=seed, telemetry=telemetry)
+    controller.schedule_random(engine, node.network.links, config=config)
+    controller.arm()
+    chaos_report = engine.run_graph(graph)
+
+    return ChaosReport(
+        preset=preset_name,
+        seed=seed,
+        baseline=baseline_report,
+        chaos=chaos_report,
+        faults_planned=controller.faults_planned,
+        faults_injected=controller.faults_injected,
+        plan=[f.to_dict() for f in controller.plan],
+        injected=list(controller.injected),
+        workload_match=(
+            graph_signature(baseline_graph) == graph_signature(graph)
+        ),
+    )

@@ -8,7 +8,8 @@ Commands:
 - ``demo``        a short adaptive-runtime run with a timeline,
 - ``trace``       run a preset with telemetry, export a Perfetto trace,
 - ``metrics``     run a preset with telemetry, dump the metrics snapshot,
-- ``experiment``  run one DESIGN.md experiment's bench and print its tables.
+- ``experiment``  run one DESIGN.md experiment's bench and print its tables,
+- ``chaos``       inject faults into a run and verify the runtime self-heals.
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.apps", "HPC workloads (stencil, matmul, MC, CART, DAGs)"),
         ("repro.energy", "energy accounting + exascale extrapolation"),
         ("repro.core", "Workers, Compute Nodes, UNILOGIC, runtime, middleware"),
+        ("repro.chaos", "machine-wide fault injection and chaos experiments"),
     ]
     print("\npackages:")
     for name, desc in packages:
@@ -243,6 +245,36 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return subprocess.call(cmd)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import run_chaos_experiment
+
+    print(f"compiling the kernel suite, running chaos preset {args.preset!r} "
+          f"(seed {args.seed})...", file=sys.stderr)
+    report = run_chaos_experiment(args.preset, seed=args.seed)
+    if args.events_out:
+        _write_or_print(report.events_json(indent=2), args.events_out)
+    chaos, base = report.chaos, report.baseline
+    print(f"  baseline makespan : {base.makespan_ns / 1e6:.3f} ms "
+          f"({base.tasks} tasks, no faults)")
+    print(f"  chaos makespan    : {chaos.makespan_ns / 1e6:.3f} ms "
+          f"({report.slowdown:.2f}x slowdown)")
+    print(f"  faults injected   : {report.faults_injected} "
+          f"(of {report.faults_planned} planned)")
+    print(f"  worker failures   : {chaos.worker_failures} "
+          f"(mean detection {chaos.mean_detection_ns / 1e3:.1f} us, "
+          f"mean recovery {chaos.mean_recovery_ns / 1e3:.1f} us)")
+    print(f"  tasks retried     : {chaos.tasks_retried} "
+          f"({chaos.work_lost_ns / 1e3:.1f} us of work lost)")
+    print(f"  fabric recoveries : {chaos.fabric_recoveries} "
+          f"({chaos.fabric_recovery_failures} failed)")
+    print(f"  unrecovered tasks : {chaos.tasks_unrecovered}")
+    if report.integrity_ok:
+        print("  integrity         : OK -- all tasks completed despite faults")
+        return 0
+    print("  integrity         : FAILED -- tasks lost or workload mismatch")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -298,6 +330,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="run one DESIGN.md experiment")
     p.add_argument("id", help="experiment id, e.g. FIG1 or CLAIM-COMPRESS")
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("chaos", help="fault-injection run + self-healing verdict")
+    # keep in sync with repro.chaos.experiment.CHAOS_PRESETS (not imported
+    # here: parser construction must stay light for every subcommand)
+    p.add_argument("preset", nargs="?", default="board",
+                   choices=("mini", "board", "board-transient", "chassis"),
+                   help="chaos scenario to run")
+    p.add_argument("--seed", type=int, default=0, help="chaos plan seed")
+    p.add_argument("--events-out", default=None,
+                   help="write the fault plan/injection JSON here")
+    p.set_defaults(fn=_cmd_chaos)
 
     return parser
 

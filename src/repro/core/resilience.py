@@ -25,7 +25,14 @@ from repro.sim import Timeout
 
 @dataclass
 class FaultRecord:
-    """One injected fault and its recovery outcome."""
+    """One injected fault and its recovery outcome.
+
+    ``failure_reason`` is set when recovery was attempted and gave up:
+    ``"no_variant"`` (the module library has no bitstream for the lost
+    function) or ``"no_region"`` (no surviving region anywhere in the
+    UNILOGIC domain can host it) -- so chaos experiments can count and
+    classify unrecoverable faults instead of inferring them.
+    """
 
     worker_id: int
     region_id: int
@@ -33,12 +40,17 @@ class FaultRecord:
     injected_at: float
     recovered_at: Optional[float] = None
     recovery_worker: Optional[int] = None
+    failure_reason: Optional[str] = None
 
     @property
     def recovery_ns(self) -> Optional[float]:
         if self.recovered_at is None:
             return None
         return self.recovered_at - self.injected_at
+
+    @property
+    def unrecovered(self) -> bool:
+        return self.failure_reason is not None
 
 
 class FaultInjector:
@@ -104,6 +116,7 @@ class RecoveryManager:
         library,
         injector: FaultInjector,
         check_period_ns: float = 50_000.0,
+        telemetry=None,
     ) -> None:
         if check_period_ns <= 0:
             raise ValueError("check period must be positive")
@@ -112,12 +125,18 @@ class RecoveryManager:
         self.library = library
         self.injector = injector
         self.check_period_ns = check_period_ns
+        self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
         self.recoveries = 0
         self.unrecoverable: List[FaultRecord] = []
         self._running = True
 
     def stop(self) -> None:
         self._running = False
+
+    @property
+    def failed_recoveries(self) -> int:
+        """Recoveries that gave up (no variant / no spare region anywhere)."""
+        return len(self.unrecoverable)
 
     # ------------------------------------------------------------------
     def _pending(self) -> List[FaultRecord]:
@@ -126,22 +145,51 @@ class RecoveryManager:
             for r in self.injector.records
             if r.recovered_at is None
             and r.function is not None
-            and r not in self.unrecoverable
+            and r.failure_reason is None
         ]
 
+    def _mark_recovered(self, record: FaultRecord, worker_id: int) -> None:
+        record.recovered_at = self.node.sim.now
+        record.recovery_worker = worker_id
+        self.recoveries += 1
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "resilience.recovered",
+                f"{self.node.name}.resilience",
+                function=record.function,
+                from_worker=record.worker_id,
+                to_worker=worker_id,
+                recovery_ns=record.recovery_ns,
+            )
+
+    def _mark_unrecoverable(self, record: FaultRecord, reason: str) -> None:
+        record.failure_reason = reason
+        self.unrecoverable.append(record)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "resilience.unrecoverable",
+                f"{self.node.name}.resilience",
+                function=record.function,
+                worker=record.worker_id,
+                region=record.region_id,
+                reason=reason,
+            )
+
     def recover_one(self, record: FaultRecord) -> Generator:
-        """Reload the lost function somewhere; returns the region or None."""
+        """Reload the lost function somewhere; returns the region or None.
+
+        Failed recoveries are recorded on the :class:`FaultRecord`
+        (``failure_reason``) and counted in :attr:`failed_recoveries`.
+        """
         # already re-hosted elsewhere (e.g. another replica survived)?
         existing = self.unilogic.hosting_regions(record.function)
         if existing:
             host, region = existing[0]
-            record.recovered_at = self.node.sim.now
-            record.recovery_worker = host
-            self.recoveries += 1
+            self._mark_recovered(record, host)
             return region
         module = self.library.best_variant(record.function)
         if module is None:
-            self.unrecoverable.append(record)
+            self._mark_unrecoverable(record, "no_variant")
             return None
         # same worker first, then the rest of the domain
         order = [record.worker_id] + [
@@ -156,11 +204,9 @@ class RecoveryManager:
                 continue
             region = yield from worker.load_module(module, candidate)
             if region is not None:
-                record.recovered_at = self.node.sim.now
-                record.recovery_worker = worker_id
-                self.recoveries += 1
+                self._mark_recovered(record, worker_id)
                 return region
-        self.unrecoverable.append(record)
+        self._mark_unrecoverable(record, "no_region")
         return None
 
     def run(self) -> Generator:
@@ -176,3 +222,14 @@ class RecoveryManager:
     def mean_recovery_ns(self) -> float:
         done = [r.recovery_ns for r in self.injector.records if r.recovery_ns is not None]
         return sum(done) / len(done) if done else 0.0
+
+    def summary(self) -> dict:
+        """Recovery outcome counts for chaos reports."""
+        return {
+            "recoveries": self.recoveries,
+            "failed_recoveries": self.failed_recoveries,
+            "failure_reasons": sorted(
+                r.failure_reason for r in self.unrecoverable
+            ),
+            "mean_recovery_ns": self.mean_recovery_ns(),
+        }

@@ -20,6 +20,11 @@ from repro.core.runtime.cluster_engine import ClusterEngine, ClusterRunReport
 from repro.core.runtime.daemon import DaemonStats, ReconfigurationDaemon
 from repro.core.runtime.distribution import DistributionPolicy, WorkDistributor
 from repro.core.runtime.engine import ExecutionEngine, RunReport
+from repro.core.runtime.faults import (
+    FaultTolerancePolicy,
+    TaskSupervisor,
+    WorkerFailureRecord,
+)
 from repro.core.runtime.history import ExecutionHistory, ExecutionRecord
 from repro.core.runtime.lazy import LazyStatusTracker, LocalWorkQueue
 from repro.core.runtime.monitoring import (
@@ -54,6 +59,9 @@ __all__ = [
     "ExecutionEngine",
     "ExecutionHistory",
     "ExecutionRecord",
+    "FaultTolerancePolicy",
+    "TaskSupervisor",
+    "WorkerFailureRecord",
     "KnnPredictor",
     "LazyStatusTracker",
     "LinearModel",

@@ -52,6 +52,27 @@ class ClusterRunReport:
             return 0.0
         return self.barrier_ns_total / self.makespan_ns
 
+    # -- machine-wide availability aggregates ---------------------------
+    @property
+    def worker_failures(self) -> int:
+        return sum(r.worker_failures for r in self.node_reports)
+
+    @property
+    def tasks_retried(self) -> int:
+        return sum(r.tasks_retried for r in self.node_reports)
+
+    @property
+    def tasks_unrecovered(self) -> int:
+        return sum(r.tasks_unrecovered for r in self.node_reports)
+
+    @property
+    def work_lost_ns(self) -> float:
+        return sum(r.work_lost_ns for r in self.node_reports)
+
+    @property
+    def availability_ok(self) -> bool:
+        return all(r.availability_ok for r in self.node_reports)
+
 
 class ClusterEngine:
     """One Execution Engine per Compute Node + inter-node coordination."""
@@ -73,6 +94,23 @@ class ClusterEngine:
         self.barriers = 0
         self.cross_node_fetches = 0
         self.cross_node_fetch_ns = 0.0
+
+    # ------------------------------------------------------------------
+    # machine-global fault hooks (Worker ids are machine-wide here)
+    # ------------------------------------------------------------------
+    def _locate_worker(self, global_worker: int) -> tuple:
+        workers_per_node = len(self.machine.node(0))
+        total = workers_per_node * len(self.machine)
+        g = global_worker % total
+        return g // workers_per_node, g % workers_per_node
+
+    def crash_worker(self, global_worker: int, permanent: bool = True) -> None:
+        node_id, local = self._locate_worker(global_worker)
+        self.engines[node_id].crash_worker(local, permanent=permanent)
+
+    def recover_worker(self, global_worker: int) -> None:
+        node_id, local = self._locate_worker(global_worker)
+        self.engines[node_id].recover_worker(local)
 
     # ------------------------------------------------------------------
     def _localize(self, task: Task) -> tuple:

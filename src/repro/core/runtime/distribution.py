@@ -14,7 +14,7 @@ working set) against believed load (from the lazy tracker).  The *how*
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import FrozenSet, List, Optional, Set
 
 from repro.apps.taskgraph import Task
 from repro.core.compute_node import ComputeNode
@@ -52,6 +52,29 @@ class WorkDistributor:
         self.policy = policy
         self.placements_local = 0   # task placed with its data
         self.placements_remote = 0
+        self._down: Set[int] = set()   # failed Workers, out of the pool
+
+    # ------------------------------------------------------------------
+    # graceful degradation: failed Workers leave the placement pool and
+    # rejoin on recovery (armed by the runtime's failure detector)
+    # ------------------------------------------------------------------
+    def mark_down(self, worker: int) -> None:
+        self._down.add(worker)
+
+    def mark_up(self, worker: int) -> None:
+        self._down.discard(worker)
+
+    @property
+    def down_workers(self) -> FrozenSet[int]:
+        return frozenset(self._down)
+
+    def alive_workers(self) -> List[int]:
+        """Placement candidates; a fully-dark pool falls back to everyone
+        (placements then strand until a Worker rejoins)."""
+        if not self._down:
+            return list(range(len(self.queues)))
+        alive = [w for w in range(len(self.queues)) if w not in self._down]
+        return alive or list(range(len(self.queues)))
 
     def score(self, task: Task, worker: int, observer: int) -> float:
         data_bytes = task.input_bytes + task.output_bytes
@@ -63,9 +86,10 @@ class WorkDistributor:
         return transfer + load * self.policy.load_penalty_ns
 
     def choose_worker(self, task: Task, observer: int = 0) -> int:
-        """The Worker whose (affinity + load) score is lowest."""
+        """The Worker whose (affinity + load) score is lowest, among the
+        Workers currently in the placement pool."""
         best = min(
-            range(len(self.queues)),
+            self.alive_workers(),
             key=lambda w: (self.score(task, w, observer), w),
         )
         if best == task.data_worker:

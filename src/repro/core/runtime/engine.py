@@ -14,6 +14,7 @@ from repro.apps.taskgraph import TaskGraph
 from repro.core.compute_node import ComputeNode
 from repro.core.runtime.daemon import ReconfigurationDaemon
 from repro.core.runtime.distribution import DistributionPolicy, WorkDistributor
+from repro.core.runtime.faults import FaultTolerancePolicy, TaskSupervisor
 from repro.core.runtime.history import ExecutionHistory
 from repro.core.runtime.lazy import LazyStatusTracker, LocalWorkQueue
 from repro.core.runtime.models import DeviceSelector
@@ -26,7 +27,11 @@ from repro.sim import AllOf, Process, spawn
 
 @dataclass
 class RunReport:
-    """What one task-graph run did."""
+    """What one task-graph run did.
+
+    The availability block (``worker_failures`` onward) stays at zero on
+    every run without fault tolerance armed -- disabled parity.
+    """
 
     makespan_ns: float
     tasks: int
@@ -38,11 +43,26 @@ class RunReport:
     status_messages: int
     placement_locality: float
     device_mix: Dict[str, int] = field(default_factory=dict)
+    # availability / recovery metrics (populated when FT is armed)
+    faults_injected: int = 0
+    worker_failures: int = 0
+    tasks_retried: int = 0
+    tasks_unrecovered: int = 0
+    mean_detection_ns: float = 0.0
+    mean_recovery_ns: float = 0.0
+    work_lost_ns: float = 0.0
+    fabric_recoveries: int = 0
+    fabric_recovery_failures: int = 0
 
     @property
     def hw_fraction(self) -> float:
         total = self.sw_calls + self.hw_calls
         return self.hw_calls / total if total else 0.0
+
+    @property
+    def availability_ok(self) -> bool:
+        """Every task completed despite whatever faults were injected."""
+        return self.tasks_unrecovered == 0
 
 
 class ExecutionEngine:
@@ -64,6 +84,7 @@ class ExecutionEngine:
         distribution_policy: DistributionPolicy = DistributionPolicy(),
         tracer=None,
         telemetry=None,
+        fault_tolerance: Optional[FaultTolerancePolicy] = None,
     ) -> None:
         self.node = node
         self.registry = registry
@@ -113,6 +134,28 @@ class ExecutionEngine:
                 period_ns=daemon_period_ns,
                 telemetry=self.telemetry,
             )
+        # self-healing runtime (None = bit-identical legacy behaviour)
+        self.supervisor: Optional[TaskSupervisor] = None
+        self.fault_injector = None
+        self.recovery = None
+        if fault_tolerance is not None:
+            self.supervisor = TaskSupervisor(
+                self, fault_tolerance, telemetry=self.telemetry
+            )
+            for s in self.schedulers:
+                s.supervisor = self.supervisor
+            if fault_tolerance.recover_fabric:
+                from repro.core.resilience import FaultInjector, RecoveryManager
+
+                self.fault_injector = FaultInjector(node)
+                self.recovery = RecoveryManager(
+                    node,
+                    self.unilogic,
+                    self.library,
+                    self.fault_injector,
+                    check_period_ns=fault_tolerance.heartbeat_period_ns,
+                    telemetry=self.telemetry,
+                )
         if self.telemetry is not None:
             from repro.telemetry.wiring import attach_engine
 
@@ -120,6 +163,8 @@ class ExecutionEngine:
 
         self._scheduler_procs: List[Process] = []
         self._daemon_proc: Optional[Process] = None
+        self._supervisor_proc: Optional[Process] = None
+        self._recovery_proc: Optional[Process] = None
         self._started = False
 
     # ------------------------------------------------------------------
@@ -136,6 +181,14 @@ class ExecutionEngine:
         ]
         if self.daemon is not None:
             self._daemon_proc = spawn(sim, self.daemon.run(), name=f"{self.node.name}.daemon")
+        if self.supervisor is not None:
+            self._supervisor_proc = spawn(
+                sim, self.supervisor.run(), name=f"{self.node.name}.supervisor"
+            )
+        if self.recovery is not None:
+            self._recovery_proc = spawn(
+                sim, self.recovery.run(), name=f"{self.node.name}.recovery"
+            )
         self._started = True
 
     def submit_layer(self, tasks) -> List[WorkItem]:
@@ -147,7 +200,7 @@ class ExecutionEngine:
         return items
 
     def stop(self) -> None:
-        """Shut the scheduler loops and the daemon down."""
+        """Shut the scheduler loops, the daemon and the FT machinery down."""
         if not self._started:
             return
         for s in self.schedulers:
@@ -156,7 +209,64 @@ class ExecutionEngine:
             self.daemon.stop()
         if self._daemon_proc is not None and self._daemon_proc.alive:
             self._daemon_proc.interrupt("run complete")
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        if self._supervisor_proc is not None and self._supervisor_proc.alive:
+            self._supervisor_proc.interrupt("run complete")
+        if self.recovery is not None:
+            self.recovery.stop()
+        if self._recovery_proc is not None and self._recovery_proc.alive:
+            self._recovery_proc.interrupt("run complete")
         self._started = False
+
+    # ------------------------------------------------------------------
+    # fault hooks (driven by repro.chaos or directly by tests)
+    # ------------------------------------------------------------------
+    def crash_worker(self, worker_id: int, permanent: bool = True) -> None:
+        """Crash-stop one Worker's runtime *now*.  ``permanent`` crashes
+        also break its fabric regions so the RecoveryManager reloads the
+        lost modules onto survivors; transient crashes leave the fabric
+        intact (UNILOGIC keeps serving its blocks domain-wide)."""
+        scheduler = self.schedulers[worker_id]
+        if scheduler.crashed:
+            return
+        scheduler.fail()
+        if self.supervisor is not None:
+            self.supervisor.notify_crash(worker_id, permanent)
+        if permanent and self.fault_injector is not None:
+            self.fault_injector.inject_worker_fault(worker_id)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "runtime.worker_crash",
+                f"{self.node.name}.runtime",
+                worker=worker_id,
+                permanent=permanent,
+            )
+
+    def recover_worker(self, worker_id: int) -> None:
+        """Bring a transiently-failed Worker back: clear the crash flag,
+        rejoin the placement pool, respawn the scheduler loop if it died."""
+        scheduler = self.schedulers[worker_id]
+        if not scheduler.crashed:
+            return
+        scheduler.restore()
+        self.distributor.mark_up(worker_id)
+        if self.supervisor is not None:
+            self.supervisor.notify_recover(worker_id)
+        if self._started:
+            proc = self._scheduler_procs[worker_id]
+            if not proc.alive:
+                self._scheduler_procs[worker_id] = spawn(
+                    self.node.sim,
+                    scheduler.run(),
+                    name=f"{self.node.name}.sched{worker_id}",
+                )
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "runtime.worker_rejoin",
+                f"{self.node.name}.runtime",
+                worker=worker_id,
+            )
 
     # ------------------------------------------------------------------
     def _driver(self, graph: TaskGraph) -> Generator:
@@ -243,6 +353,31 @@ class ExecutionEngine:
     def _report(self, graph: TaskGraph, makespan: float) -> RunReport:
         sw = sum(s.sw_chosen for s in self.schedulers)
         hw = sum(s.hw_chosen for s in self.schedulers)
+        availability: Dict[str, object] = {}
+        if self.supervisor is not None:
+            sup = self.supervisor
+            fabric_faults = (
+                len(self.fault_injector.records)
+                if self.fault_injector is not None
+                else 0
+            )
+            availability = dict(
+                faults_injected=len(sup.failures) + fabric_faults,
+                worker_failures=len(sup.failures),
+                tasks_retried=sup.tasks_retried,
+                tasks_unrecovered=len(sup.unrecovered),
+                mean_detection_ns=sup.mean_detection_ns(),
+                mean_recovery_ns=sup.mean_recovery_ns(),
+                work_lost_ns=sup.work_lost_ns,
+                fabric_recoveries=(
+                    self.recovery.recoveries if self.recovery is not None else 0
+                ),
+                fabric_recovery_failures=(
+                    self.recovery.failed_recoveries
+                    if self.recovery is not None
+                    else 0
+                ),
+            )
         return RunReport(
             makespan_ns=makespan,
             tasks=len(graph),
@@ -256,4 +391,5 @@ class ExecutionEngine:
             status_messages=self.tracker.status_messages,
             placement_locality=self.distributor.locality_fraction(),
             device_mix={"sw": sw, "hw": hw},
+            **availability,
         )

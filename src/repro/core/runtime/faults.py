@@ -1,0 +1,328 @@
+"""Failure detection and task retry: resilience above the fabric.
+
+The fabric layer already survives broken *regions*
+(:mod:`repro.core.resilience`); this module extends the story to broken
+*Workers* -- the dominant failure domain at exascale (Ammendola et al.
+2018).  A :class:`TaskSupervisor` armed on an
+:class:`~repro.core.runtime.engine.ExecutionEngine` provides:
+
+- **heartbeat failure detection**: a periodic monitor pings every
+  Worker's scheduler; ``miss_threshold`` consecutive missed beats
+  declare the Worker failed, so detection latency is bounded by
+  ``miss_threshold * heartbeat_period_ns``,
+- **re-dispatch**: queued and in-flight tasks of a failed Worker are
+  reclaimed and resubmitted to survivors through the work distributor
+  (which drops the failed Worker from the placement pool),
+- **bounded exponential backoff retry**: each re-dispatch waits
+  ``min(base * 2**(attempt-1), cap)``; tasks that exhaust
+  ``max_attempts`` are recorded unrecovered and their completion signal
+  fired with ``failed=True`` so a run always terminates,
+- **speculative timeout retry** (optional): an in-flight task older than
+  ``task_timeout_ns`` on a *live* Worker (e.g. stalled behind a dead
+  link) is duplicated onto another Worker; the first completion wins.
+
+With no supervisor armed the runtime's behaviour is bit-identical to
+the pre-fault-tolerance code path (the telemetry NULL-hub pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.core.runtime.scheduler import WorkItem
+from repro.sim import Timeout, spawn
+
+
+@dataclass(frozen=True)
+class FaultTolerancePolicy:
+    """Knobs of the self-healing runtime."""
+
+    heartbeat_period_ns: float = 20_000.0
+    miss_threshold: int = 2
+    max_attempts: int = 4
+    backoff_base_ns: float = 10_000.0
+    backoff_cap_ns: float = 200_000.0
+    task_timeout_ns: Optional[float] = None   # None = no speculative retry
+    recover_fabric: bool = True  # reload a dead Worker's modules elsewhere
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_period_ns <= 0:
+            raise ValueError("heartbeat period must be positive")
+        if self.miss_threshold < 1:
+            raise ValueError("miss threshold must be at least 1")
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.backoff_base_ns < 0 or self.backoff_cap_ns < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.task_timeout_ns is not None and self.task_timeout_ns <= 0:
+            raise ValueError("task timeout must be positive")
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Bounded exponential backoff for retry number ``attempt`` (1-based)."""
+        return min(self.backoff_base_ns * (2 ** (attempt - 1)), self.backoff_cap_ns)
+
+
+@dataclass
+class WorkerFailureRecord:
+    """One Worker failure: crash, detection, re-dispatch, recovery."""
+
+    worker_id: int
+    crashed_at: float
+    permanent: bool = True
+    detected_at: Optional[float] = None
+    tasks_redispatched: int = 0
+    outstanding: int = 0            # re-dispatched tasks not yet finished
+    recovered_at: Optional[float] = None   # last re-dispatched task done
+    rejoined_at: Optional[float] = None    # transient Worker back in pool
+
+    @property
+    def detection_ns(self) -> Optional[float]:
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.crashed_at
+
+    @property
+    def time_to_recover_ns(self) -> Optional[float]:
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.crashed_at
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "worker_id": self.worker_id,
+            "crashed_at": self.crashed_at,
+            "permanent": self.permanent,
+            "detected_at": self.detected_at,
+            "tasks_redispatched": self.tasks_redispatched,
+            "recovered_at": self.recovered_at,
+            "rejoined_at": self.rejoined_at,
+        }
+
+
+class TaskSupervisor:
+    """Heartbeat monitor + retry machinery for one Execution Engine."""
+
+    def __init__(self, engine, policy: FaultTolerancePolicy, telemetry=None) -> None:
+        self.engine = engine
+        self.policy = policy
+        self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
+        self.failures: List[WorkerFailureRecord] = []
+        self.speculative: List[WorkerFailureRecord] = []   # timeout retries
+        self.unrecovered: List[WorkItem] = []
+        self.tasks_retried = 0
+        self.work_lost_ns = 0.0
+        self._misses: Dict[int, int] = {}
+        self._open: Dict[int, WorkerFailureRecord] = {}   # detected, not rejoined
+        self._running = True
+
+    # ------------------------------------------------------------------
+    # lifecycle (the engine spawns run() and calls stop())
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        self._running = False
+
+    def run(self) -> Generator:
+        """The heartbeat loop (spawn as a simulation process)."""
+        while self._running:
+            yield Timeout(self.policy.heartbeat_period_ns)
+            if not self._running:
+                return
+            for scheduler in self.engine.schedulers:
+                w = scheduler.worker_id
+                if scheduler.crashed:
+                    if w in self._open:
+                        continue        # already declared, awaiting rejoin
+                    self._misses[w] = self._misses.get(w, 0) + 1
+                    if self._misses[w] >= self.policy.miss_threshold:
+                        self._declare_failed(w)
+                else:
+                    self._misses[w] = 0
+            if self.policy.task_timeout_ns is not None:
+                self._check_timeouts()
+
+    # ------------------------------------------------------------------
+    # crash notifications (called synchronously by the engine)
+    # ------------------------------------------------------------------
+    def notify_crash(self, worker_id: int, permanent: bool) -> WorkerFailureRecord:
+        record = WorkerFailureRecord(
+            worker_id=worker_id,
+            crashed_at=self.engine.node.sim.now,
+            permanent=permanent,
+        )
+        self.failures.append(record)
+        return record
+
+    def notify_recover(self, worker_id: int) -> None:
+        self._misses[worker_id] = 0
+        record = self._open.pop(worker_id, None)
+        now = self.engine.node.sim.now
+        for failure in reversed(self.failures):
+            if failure.worker_id == worker_id and failure.rejoined_at is None:
+                failure.rejoined_at = now
+                break
+        if record is not None and record.outstanding == 0 and record.recovered_at is None:
+            record.recovered_at = now
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def _failure_record(self, worker_id: int) -> WorkerFailureRecord:
+        for failure in reversed(self.failures):
+            if failure.worker_id == worker_id and failure.detected_at is None:
+                return failure
+        # crash the engine was never told about (e.g. direct scheduler.fail())
+        record = WorkerFailureRecord(
+            worker_id=worker_id, crashed_at=self.engine.node.sim.now
+        )
+        self.failures.append(record)
+        return record
+
+    def _declare_failed(self, worker_id: int) -> None:
+        sim = self.engine.node.sim
+        record = self._failure_record(worker_id)
+        record.detected_at = sim.now
+        self._open[worker_id] = record
+        # leave the placement pool first, then reclaim the backlog: events
+        # are atomic callbacks, so no submission can slip in between
+        self.engine.distributor.mark_down(worker_id)
+        scheduler = self.engine.schedulers[worker_id]
+        orphans = scheduler.drain_pending()
+        inflight = scheduler.current_item
+        if (
+            inflight is not None
+            and not inflight.done.triggered
+            and not inflight.redispatched
+        ):
+            scheduler.queue.enqueued -= 1   # its pop will never complete here
+            orphans.append(inflight)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "runtime.worker_failed",
+                f"{self.engine.node.name}.runtime",
+                worker=worker_id,
+                detection_ns=record.detection_ns,
+                orphans=len(orphans),
+            )
+        for item in orphans:
+            item.redispatched = True
+            record.tasks_redispatched += 1
+            record.outstanding += 1
+            spawn(sim, self._retry(item, record), name=f"retry.{item.task.task_id}")
+        if record.outstanding == 0:
+            record.recovered_at = sim.now
+
+    def _retry(self, item: WorkItem, record: WorkerFailureRecord) -> Generator:
+        item.attempts += 1
+        if item.attempts > self.policy.max_attempts - 1:
+            self._give_up(item, record)
+            return
+        yield Timeout(self.policy.backoff_ns(item.attempts))
+        alive = [
+            w for w in range(len(self.engine.schedulers))
+            if w not in self.engine.distributor.down_workers
+        ]
+        if not alive:
+            self._give_up(item, record)
+            return
+        worker = self.engine.distributor.choose_worker(item.task, observer=0)
+        item.redispatched = False       # back in a live queue, claimable again
+        self.engine.schedulers[worker].resubmit(item)
+        self.tasks_retried += 1
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "runtime.task_retry",
+                f"{self.engine.node.name}.runtime",
+                task=item.task.task_id,
+                function=item.task.function,
+                attempt=item.attempts,
+                worker=worker,
+            )
+        yield item.done
+        record.outstanding -= 1
+        if record.outstanding == 0 and record.recovered_at is None:
+            record.recovered_at = self.engine.node.sim.now
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "runtime.worker_recovered",
+                    f"{self.engine.node.name}.runtime",
+                    worker=record.worker_id,
+                    time_to_recover_ns=record.time_to_recover_ns,
+                )
+
+    def _give_up(self, item: WorkItem, record: WorkerFailureRecord) -> None:
+        item.failed = True
+        self.unrecovered.append(item)
+        record.outstanding -= 1
+        if record.outstanding == 0 and record.recovered_at is None:
+            record.recovered_at = self.engine.node.sim.now
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "runtime.task_unrecovered",
+                f"{self.engine.node.name}.runtime",
+                task=item.task.task_id,
+                function=item.task.function,
+                attempts=item.attempts,
+            )
+        if not item.done.triggered:
+            item.done.succeed(item)     # unblock the driver: the run ends
+
+    # ------------------------------------------------------------------
+    # speculative timeout retries (live Worker, stuck task)
+    # ------------------------------------------------------------------
+    def _check_timeouts(self) -> None:
+        sim = self.engine.node.sim
+        timeout = self.policy.task_timeout_ns
+        for scheduler in self.engine.schedulers:
+            if scheduler.crashed:
+                continue        # crash path handles these
+            item = scheduler.current_item
+            if (
+                item is None
+                or item.done.triggered
+                or item.redispatched
+                or item.started_at is None
+                or sim.now - item.started_at < timeout
+                or item.attempts >= self.policy.max_attempts - 1
+            ):
+                continue
+            # a stuck task is not a dead Worker: track it on a standalone
+            # record so worker-failure metrics stay crash-only
+            record = WorkerFailureRecord(
+                worker_id=scheduler.worker_id,
+                crashed_at=item.started_at,
+                permanent=False,
+            )
+            record.detected_at = sim.now
+            self.speculative.append(record)
+            item.redispatched = True
+            record.tasks_redispatched += 1
+            record.outstanding += 1
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "runtime.task_timeout",
+                    f"{self.engine.node.name}.runtime",
+                    task=item.task.task_id,
+                    worker=scheduler.worker_id,
+                    age_ns=sim.now - item.started_at,
+                )
+            spawn(
+                sim,
+                self._retry(item, record),
+                name=f"spec-retry.{item.task.task_id}",
+            )
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def mean_detection_ns(self) -> float:
+        done = [f.detection_ns for f in self.failures if f.detection_ns is not None]
+        return sum(done) / len(done) if done else 0.0
+
+    def mean_recovery_ns(self) -> float:
+        done = [
+            f.time_to_recover_ns
+            for f in self.failures
+            if f.time_to_recover_ns is not None
+        ]
+        return sum(done) / len(done) if done else 0.0

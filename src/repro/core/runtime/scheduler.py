@@ -27,7 +27,7 @@ from repro.core.compute_node import ComputeNode
 from repro.core.runtime.history import ExecutionHistory
 from repro.core.runtime.lazy import LocalWorkQueue
 from repro.core.runtime.models import DeviceSelector
-from repro.core.unilogic import UnilogicDomain
+from repro.core.unilogic import AcceleratorLost, UnilogicDomain
 from repro.core.worker import FunctionRegistry
 from repro.interconnect.message import TransactionType
 from repro.sim import Signal
@@ -35,12 +35,22 @@ from repro.sim import Signal
 
 @dataclass
 class WorkItem:
-    """A task plus its completion signal (the engine joins on it)."""
+    """A task plus its completion signal (the engine joins on it).
+
+    The fault-tolerance fields (attempts, redispatched, failed) stay at
+    their defaults on every healthy run; ``done`` fires exactly once even
+    when a retry races the original execution (first completion wins).
+    """
 
     task: Task
     done: Signal
     device_used: Optional[str] = None
     latency_ns: float = 0.0
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    attempts: int = 0               # retries consumed (0 = first dispatch)
+    redispatched: bool = False      # claimed by the supervisor for retry
+    failed: bool = False            # gave up: retry budget exhausted
 
 
 _SHUTDOWN = object()
@@ -80,15 +90,53 @@ class WorkerScheduler:
         self.tasks_done = 0
         self.hw_chosen = 0
         self.sw_chosen = 0
+        self.hw_fallbacks = 0   # accelerator died mid-call, re-ran in SW
+        # fault-tolerance state (inert unless the engine arms a supervisor)
+        self.crashed = False
+        self.stranded: list = []        # items lost to a crash, awaiting retry
+        self.current_item: Optional[WorkItem] = None
+        self.supervisor = None          # set by the engine when FT is enabled
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
         self.queue.store.put(_SHUTDOWN)
 
+    def fail(self) -> None:
+        """Crash-stop this Worker's runtime: the loop strands whatever it
+        holds and stops consuming (detection is the supervisor's job)."""
+        self.crashed = True
+
+    def restore(self) -> None:
+        """Clear the crash flag (the engine respawns the loop if needed)."""
+        self.crashed = False
+
     def submit(self, task: Task) -> WorkItem:
-        item = WorkItem(task=task, done=Signal(self.node.sim))
+        item = WorkItem(
+            task=task,
+            done=Signal(self.node.sim),
+            submitted_at=self.node.sim.now,
+        )
         self.queue.push(item)  # type: ignore[arg-type]
         return item
+
+    def resubmit(self, item: WorkItem) -> WorkItem:
+        """Queue an existing item again (retry path: same ``done`` signal)."""
+        item.submitted_at = self.node.sim.now
+        self.queue.push(item)  # type: ignore[arg-type]
+        return item
+
+    def drain_pending(self) -> list:
+        """Reclaim queued-but-unstarted items plus anything stranded by a
+        crash (called by the supervisor once the failure is detected)."""
+        drained = self.queue.store.drain()
+        items = [i for i in drained if i is not _SHUTDOWN]
+        for sentinel in drained:
+            if sentinel is _SHUTDOWN:           # re-arm a pending shutdown
+                self.queue.store.put(sentinel)
+        self.queue.enqueued -= len(items)
+        items.extend(self.stranded)
+        self.stranded = []
+        return items
 
     # ------------------------------------------------------------------
     def _decide_device(self, task: Task) -> str:
@@ -135,20 +183,34 @@ class WorkerScheduler:
         if device == "hw":
             self.hw_chosen += 1
             bpi = max(1, int(kernel.bytes_per_iteration()))
-            yield from self.unilogic.invoke(
-                task.function,
-                caller_worker=self.worker_id,
-                items=task.items,
-                data_worker=task.data_worker,
-                bytes_per_item=bpi,
-            )
-            host_worker, region = self.unilogic.nearest_region(
-                task.function, task.data_worker
-            ) or (self.worker_id, None)
-            energy = (
-                region.module.energy_pj(task.items) if region is not None else 0.0
-            )
-        else:
+            try:
+                yield from self.unilogic.invoke(
+                    task.function,
+                    caller_worker=self.worker_id,
+                    items=task.items,
+                    data_worker=task.data_worker,
+                    bytes_per_item=bpi,
+                )
+                host_worker, region = self.unilogic.nearest_region(
+                    task.function, task.data_worker
+                ) or (self.worker_id, None)
+                energy = (
+                    region.module.energy_pj(task.items) if region is not None else 0.0
+                )
+            except AcceleratorLost:
+                # the hosting region died while the call was in flight
+                # (fabric fault / Worker crash): degrade to software
+                self.hw_chosen -= 1
+                self.hw_fallbacks += 1
+                device = "sw"
+                if self.telemetry is not None:
+                    self.telemetry.event(
+                        "scheduler.accel_lost",
+                        self.worker.name,
+                        task=task.task_id,
+                        function=task.function,
+                    )
+        if device == "sw":
             self.sw_chosen += 1
             # software runs here; pull remote data through UNIMEM first
             if task.data_worker != self.worker_id:
@@ -175,13 +237,37 @@ class WorkerScheduler:
         )
 
     # ------------------------------------------------------------------
+    def _strand(self, item: WorkItem) -> None:
+        """A popped item this crashed loop will never complete: hand it to
+        the supervisor (unless a retry already claimed it) and fix the
+        queue accounting -- the pop un-enqueued it without completing."""
+        self.queue.enqueued -= 1
+        if not item.redispatched:
+            self.stranded.append(item)
+
     def run(self) -> Generator:
-        """The scheduler's main loop (spawn as a simulation process)."""
+        """The scheduler's main loop (spawn as a simulation process).
+
+        A crash-stop (:meth:`fail`) takes effect at the loop's next
+        decision point: a popped item is stranded instead of executed,
+        and a result computed while the flag was raised is discarded
+        (the work happened, its answer died with the Worker).
+        """
         lane = self.worker.name
         while True:
             item = yield self.queue.pop()
             if item is _SHUTDOWN:
                 return self.tasks_done
+            if self.crashed:
+                self._strand(item)
+                return None
+            if item.done.triggered:
+                # stale speculative duplicate: another execution already
+                # finished this item; just balance the queue accounting
+                self.queue.mark_done()
+                continue
+            self.current_item = item
+            item.started_at = self.node.sim.now
             span_name = None
             if self.tracer is not None:
                 span_name = f"{item.task.function}#{item.task.task_id}"
@@ -189,6 +275,14 @@ class WorkerScheduler:
             yield from self._execute(item)
             if self.tracer is not None and span_name is not None:
                 self.tracer.end(lane, span_name)
+            self.current_item = None
+            if self.crashed:
+                # the crash hit mid-task: the result is lost with the Worker
+                if self.supervisor is not None:
+                    self.supervisor.work_lost_ns += item.latency_ns
+                self._strand(item)
+                return None
             self.queue.mark_done()
             self.tasks_done += 1
-            item.done.succeed(item)
+            if not item.done.triggered:
+                item.done.succeed(item)

@@ -46,6 +46,16 @@ class AcceleratorAccess:
     remote_data: bool
 
 
+class AcceleratorLost(RuntimeError):
+    """The hosting region died while an invocation was in flight.
+
+    A fabric fault (or chaos-injected Worker crash) can blank a region
+    between the moment a caller resolved it and the moment the call
+    lands -- the control/data transfers across the interconnect take
+    simulated time.  Callers should treat the invocation as failed and
+    degrade (typically: re-run the function in software)."""
+
+
 class UnilogicDomain:
     """The shared accelerator pool of one Compute Node."""
 
@@ -140,9 +150,20 @@ class UnilogicDomain:
             )
             yield from self.node.workers[data_worker].local_stream(0, total, False)
 
+        # the transfers above took simulated time: the region may have
+        # died (fabric fault / Worker crash) while the call was in flight
+        if region.state is not RegionState.READY or region.function != function:
+            raise AcceleratorLost(
+                f"region hosting {function!r} on worker {host_worker} died mid-call"
+            )
         accel = host.accelerator_for_region(region)
         before = accel.energy_pj
         yield from accel.call(f"w{caller_worker}", items)
+        if region.state is not RegionState.READY or region.function != function:
+            # unloaded *during* the call: the result died with the fabric
+            raise AcceleratorLost(
+                f"region hosting {function!r} on worker {host_worker} died mid-call"
+            )
         region.last_used_at = self.node.sim.now
         host.hw_calls += 1
         host.ledger.add(f"{host.name}.fabric", accel.energy_pj - before)

@@ -211,6 +211,20 @@ class Store:
             self._putters.append((sig, item))
         return sig
 
+    def drain(self) -> List[Any]:
+        """Remove and return every queued item (recovery path: reclaiming
+        a dead consumer's backlog).  Blocked putters are admitted into
+        the freed space; blocked getters stay blocked."""
+        items = list(self._items)
+        self._items.clear()
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            psig, pitem = self._putters.popleft()
+            self._items.append(pitem)
+            psig.succeed(None)
+        return items
+
     def get(self) -> Signal:
         sig = Signal(self.sim)
         if self._items:

@@ -36,6 +36,55 @@ class TestLink:
         link = Link(sim)
         with pytest.raises(ValueError):
             link.cost(-1)
+        with pytest.raises(ValueError):
+            link.account(-1)
+        with pytest.raises(ValueError):
+            next(link.transfer(-1))
+
+    def test_zero_size_transfer_allowed(self):
+        sim = Simulator()
+        link = Link(sim, LinkParams(bandwidth_gbps=1.0, latency_ns=5.0))
+        done = []
+
+        def sender():
+            yield from link.transfer(0)
+            done.append(sim.now)
+
+        spawn(sim, sender())
+        sim.run()
+        assert done == [5.0]    # propagation latency only
+
+    def test_waiting_low_priority_value_overtakes_high(self):
+        """Documented semantics: waiting transfers are granted in
+        ascending (priority, arrival-order); the in-flight transfer is
+        never preempted."""
+        sim = Simulator()
+        link = Link(sim, LinkParams(bandwidth_gbps=1.0, latency_ns=0.0))
+        done = []
+
+        def sender(tag, priority):
+            yield from link.transfer(100, priority=priority)
+            done.append(tag)
+
+        spawn(sim, sender("bulk-occupying", 5))   # takes the lane at t=0
+        spawn(sim, sender("bulk-waiting", 5))     # arrives first in queue
+        spawn(sim, sender("sync", 0))             # lower value: overtakes
+        sim.run()
+        assert done == ["bulk-occupying", "sync", "bulk-waiting"]
+
+    def test_equal_priority_stays_fifo(self):
+        sim = Simulator()
+        link = Link(sim, LinkParams(bandwidth_gbps=1.0, latency_ns=0.0))
+        done = []
+
+        def sender(tag):
+            yield from link.transfer(50, priority=3)
+            done.append(tag)
+
+        for tag in ("a", "b", "c"):
+            spawn(sim, sender(tag))
+        sim.run()
+        assert done == ["a", "b", "c"]
 
     def test_transfer_serializes_on_single_lane(self):
         sim = Simulator()

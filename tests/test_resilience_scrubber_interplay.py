@@ -1,0 +1,186 @@
+"""Integration of the two resilience halves: detection and repair.
+
+The fabric layer detects silent configuration corruption by scrubbing
+(:mod:`repro.fabric.scrubber`); the middleware repairs lost service by
+reloading modules (:mod:`repro.core.resilience`).  These tests wire the
+scrubber's ``on_fault`` callback into the :class:`FaultInjector` so an
+injected SEU flows end to end: upset -> readback detection -> region
+retired -> RecoveryManager reloads the module on a survivor -- and the
+latencies respect the scrub period.
+
+Also covers the RecoveryManager's failed-recovery accounting: giving up
+is recorded (``failure_reason``, ``failed_recoveries``, ``summary()``),
+never silently dropped, and never retried forever.
+"""
+
+import pytest
+
+from repro.core import (
+    ComputeNode,
+    ComputeNodeParams,
+    FaultInjector,
+    RecoveryManager,
+    UnilogicDomain,
+)
+from repro.core.resilience import FaultRecord
+from repro.fabric import ModuleLibrary, RegionState
+from repro.fabric.bitstream import FRAME_BYTES
+from repro.fabric.scrubber import ConfigScrubber
+from repro.hls import HlsTool, SynthesisConstraints, saxpy_kernel
+from repro.sim import Simulator, spawn
+
+
+@pytest.fixture(scope="module")
+def library():
+    lib = ModuleLibrary()
+    HlsTool().compile(saxpy_kernel(1024), lib, SynthesisConstraints(max_variants=1))
+    return lib
+
+
+def setup(library, workers=2):
+    sim = Simulator()
+    node = ComputeNode(sim, ComputeNodeParams(num_workers=workers))
+    unilogic = UnilogicDomain(node)
+    injector = FaultInjector(node)
+    manager = RecoveryManager(node, unilogic, library, injector, check_period_ns=1000.0)
+    return sim, node, unilogic, injector, manager
+
+
+def load_saxpy(sim, node, library, worker=0):
+    module = library.best_variant("saxpy")
+    out = {}
+
+    def proc():
+        out["region"] = yield from node.worker(worker).load_module(module)
+
+    spawn(sim, proc())
+    sim.run()
+    return out["region"]
+
+
+class TestUpsetToRecoveryPipeline:
+    SCRUB_INTERVAL = 50_000.0
+    READBACK_GBPS = 0.4
+
+    def wire(self, library):
+        """Scrubber on worker 0 whose detections retire the region."""
+        sim, node, unilogic, injector, manager = setup(library)
+        region = load_saxpy(sim, node, library)
+        scrubber = ConfigScrubber(
+            sim,
+            node.worker(0).fabric,
+            readback_bandwidth_gbps=self.READBACK_GBPS,
+            on_fault=lambda r, frame: injector.inject_region_fault(0, r.region_id),
+        )
+        return sim, node, unilogic, injector, manager, scrubber, region
+
+    def test_upset_flows_to_reload(self, library):
+        sim, node, unilogic, injector, manager, scrubber, region = self.wire(library)
+        upset = scrubber.inject_upset(region.region_id, frame=2, bit=5)
+        spawn(sim, scrubber.run(interval_ns=self.SCRUB_INTERVAL))
+        spawn(sim, manager.run())
+        sim.run(until=sim.now + 2_000_000.0)
+        scrubber.stop()
+        manager.stop()
+
+        # detection: the scrubber found the flipped bit by readback
+        assert upset.detected_at is not None
+        assert scrubber.faults_detected >= 1
+        # retirement: the detection retired the region via the injector
+        fault = next(r for r in injector.records if r.function == "saxpy")
+        assert injector.is_failed(0, region.region_id)
+        # repair: the RecoveryManager reloaded saxpy somewhere that works
+        assert fault.recovered_at is not None
+        assert manager.recoveries == 1
+        assert manager.failed_recoveries == 0
+        host, live = unilogic.hosting_regions("saxpy")[0]
+        assert live.state is RegionState.READY
+        assert not injector.is_failed(host, live.region_id)
+
+    def test_detection_latency_bounded_by_scrub_period(self, library):
+        sim, node, unilogic, injector, manager, scrubber, region = self.wire(library)
+        frames = region.module.bitstream.frames   # before the region is retired
+        upset = scrubber.inject_upset(region.region_id, frame=0, bit=0)
+        spawn(sim, scrubber.run(interval_ns=self.SCRUB_INTERVAL))
+        spawn(sim, manager.run())
+        sim.run(until=sim.now + 2_000_000.0)
+        scrubber.stop()
+        manager.stop()
+
+        # worst case: one full pass over every loaded frame + the idle gap
+        pass_ns = frames * FRAME_BYTES / self.READBACK_GBPS
+        assert 0 < upset.detection_ns <= pass_ns + self.SCRUB_INTERVAL
+        # repair adds reconfiguration time on top of detection
+        fault = next(r for r in injector.records if r.function == "saxpy")
+        assert fault.recovery_ns > 0
+        assert fault.injected_at >= upset.detected_at
+
+    def test_faster_readback_detects_sooner(self, library):
+        detections = []
+        for gbps in (0.4, 4.0):
+            sim, node, unilogic, injector, manager = setup(library)
+            region = load_saxpy(sim, node, library)
+            scrubber = ConfigScrubber(
+                sim, node.worker(0).fabric, readback_bandwidth_gbps=gbps
+            )
+            upset = scrubber.inject_upset(region.region_id, frame=3, bit=1)
+            spawn(sim, scrubber.run(interval_ns=self.SCRUB_INTERVAL))
+            sim.run(until=sim.now + 2_000_000.0)
+            scrubber.stop()
+            detections.append(upset.detection_ns)
+        assert detections[1] < detections[0]
+
+
+class TestFailedRecoveryAccounting:
+    def test_no_variant_recorded_not_dropped(self, library):
+        sim, node, _, injector, manager = setup(library)
+        injector.records.append(
+            FaultRecord(worker_id=0, region_id=0, function="ghost", injected_at=0.0)
+        )
+        spawn(sim, manager.run())
+        sim.run(until=sim.now + 10_000.0)
+        manager.stop()
+        record = injector.records[0]
+        assert record.failure_reason == "no_variant"
+        assert record.unrecovered
+        assert manager.failed_recoveries == 1
+        assert manager.recoveries == 0
+
+    def test_no_region_when_whole_domain_is_dead(self, library):
+        sim, node, _, injector, manager = setup(library)
+        region = load_saxpy(sim, node, library)
+        injector.inject_worker_fault(0)
+        injector.inject_worker_fault(1)     # nowhere left to reload
+        spawn(sim, manager.run())
+        sim.run(until=sim.now + 10_000.0)
+        manager.stop()
+        fault = next(r for r in injector.records if r.function == "saxpy")
+        assert fault.failure_reason == "no_region"
+        assert manager.failed_recoveries == 1
+
+    def test_given_up_faults_are_not_retried_forever(self, library):
+        sim, node, _, injector, manager = setup(library)
+        injector.records.append(
+            FaultRecord(worker_id=0, region_id=0, function="ghost", injected_at=0.0)
+        )
+        spawn(sim, manager.run())
+        sim.run(until=sim.now + 50_000.0)   # many check periods
+        manager.stop()
+        assert manager.failed_recoveries == 1   # exactly one attempt recorded
+        assert manager._pending() == []         # never reconsidered
+
+    def test_summary_classifies_outcomes(self, library):
+        sim, node, _, injector, manager = setup(library)
+        region = load_saxpy(sim, node, library)
+        injector.inject_region_fault(0, region.region_id)   # recoverable
+        injector.records.append(
+            FaultRecord(worker_id=0, region_id=1, function="ghost", injected_at=0.0)
+        )
+        spawn(sim, manager.run())
+        sim.run(until=sim.now + 100_000.0)
+        manager.stop()
+        summary = manager.summary()
+        assert summary["recoveries"] == 1
+        assert summary["failed_recoveries"] == 1
+        assert summary["failure_reasons"] == ["no_variant"]
+        assert summary["mean_recovery_ns"] > 0
