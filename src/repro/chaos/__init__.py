@@ -19,8 +19,11 @@ from repro.chaos.experiment import (
     CHAOS_PRESETS,
     ChaosPreset,
     ChaosReport,
+    JobChaosVerdict,
+    MultiJobChaosReport,
     graph_signature,
     run_chaos_experiment,
+    run_multi_job_chaos_experiment,
 )
 
 __all__ = [
@@ -29,7 +32,10 @@ __all__ = [
     "ChaosController",
     "ChaosPreset",
     "ChaosReport",
+    "JobChaosVerdict",
+    "MultiJobChaosReport",
     "PlannedFault",
     "graph_signature",
     "run_chaos_experiment",
+    "run_multi_job_chaos_experiment",
 ]

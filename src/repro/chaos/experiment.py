@@ -21,7 +21,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.apps.taskgraph import TaskGraph, make_layered_dag
 from repro.chaos.controller import ChaosConfig, ChaosController
 from repro.core.compute_node import ComputeNode
-from repro.core.runtime import ExecutionEngine, FaultTolerancePolicy, RunReport
+from repro.core.runtime import (
+    ExecutionEngine,
+    FaultTolerancePolicy,
+    JobManager,
+    MachineReport,
+    RunReport,
+)
 from repro.presets import compiled_suite, node_preset
 from repro.sim import Simulator
 
@@ -216,4 +222,202 @@ def run_chaos_experiment(
         workload_match=(
             graph_signature(baseline_graph) == graph_signature(graph)
         ),
+    )
+
+
+# ----------------------------------------------------------------------
+# multi-tenant chaos: concurrent jobs, per-job verdicts
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class JobChaosVerdict:
+    """Did one tenant survive the chaos run intact?"""
+
+    job_id: int
+    policy: str
+    priority: int
+    tasks: int
+    tasks_retried: int
+    tasks_unrecovered: int
+    latency_ns: float
+    workload_match: bool
+
+    @property
+    def integrity_ok(self) -> bool:
+        """Same workload, every task of *this job* completed."""
+        return self.workload_match and self.tasks_unrecovered == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "policy": self.policy,
+            "priority": self.priority,
+            "tasks": self.tasks,
+            "tasks_retried": self.tasks_retried,
+            "tasks_unrecovered": self.tasks_unrecovered,
+            "integrity_ok": self.integrity_ok,
+        }
+
+
+@dataclass
+class MultiJobChaosReport:
+    """Verdict of one multi-tenant chaos experiment: the machine-wide
+    roll-up plus one integrity verdict per job."""
+
+    preset: str
+    seed: int
+    baseline: MachineReport
+    chaos: MachineReport
+    verdicts: List[JobChaosVerdict]
+    faults_planned: int
+    faults_injected: int
+    plan: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def integrity_ok(self) -> bool:
+        return bool(self.verdicts) and all(v.integrity_ok for v in self.verdicts)
+
+    @property
+    def slowdown(self) -> float:
+        if self.baseline.makespan_ns <= 0:
+            return 1.0
+        return self.chaos.makespan_ns / self.baseline.makespan_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "preset": self.preset,
+            "seed": self.seed,
+            "integrity_ok": self.integrity_ok,
+            "slowdown": self.slowdown,
+            "faults_planned": self.faults_planned,
+            "faults_injected": self.faults_injected,
+            "plan": self.plan,
+            "fairness_index": self.chaos.fairness_index(),
+            "jobs": [v.to_dict() for v in self.verdicts],
+            "baseline": {"makespan_ns": self.baseline.makespan_ns},
+            "chaos": {
+                "makespan_ns": self.chaos.makespan_ns,
+                "worker_failures": self.chaos.worker_failures,
+                "tasks_retried": self.chaos.tasks_retried,
+                "tasks_unrecovered": self.chaos.tasks_unrecovered,
+            },
+        }
+
+    def events_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON of the experiment (CI determinism diffing)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def _submit_job_mix(
+    preset: ChaosPreset,
+    engine: ExecutionEngine,
+    policies: Tuple[str, ...],
+):
+    """One JobManager with ``len(policies)`` jobs: distinct per-job
+    graphs (seeded off the preset's graph seed) and a 2:1 priority for
+    job 1 so fair-share weighting is exercised."""
+    manager = JobManager(engine)
+    handles = []
+    for i, policy in enumerate(policies):
+        graph = make_layered_dag(
+            layers=preset.layers,
+            width=preset.width,
+            num_workers=len(engine.node),
+            functions=("saxpy", "stencil5", "montecarlo"),
+            seed=preset.graph_seed + i,
+        )
+        handles.append(
+            manager.submit_job(graph, policy=policy, priority=2 if i == 0 else 1)
+        )
+    return manager, handles
+
+
+def run_multi_job_chaos_experiment(
+    preset_name: str,
+    seed: int = 0,
+    policies: Tuple[str, ...] = ("greedy-hw", "energy"),
+    telemetry=None,
+    compiled=None,
+) -> MultiJobChaosReport:
+    """Run one chaos scenario with concurrent tenant jobs.
+
+    Same two-run shape as :func:`run_chaos_experiment` -- a fault-free
+    multi-job baseline (FT off) pins down the workload and the fault
+    window, then the chaos run arms the self-healing runtime and injects
+    the seeded plan while the jobs stream concurrently.  The verdicts
+    are *per job*: each tenant's workload signature and task integrity
+    is checked independently.
+    """
+    if preset_name not in CHAOS_PRESETS:
+        known = ", ".join(sorted(CHAOS_PRESETS))
+        raise KeyError(f"unknown chaos preset {preset_name!r}; choose from: {known}")
+    preset = CHAOS_PRESETS[preset_name]
+    registry, library = (
+        compiled if compiled is not None else compiled_suite(max_variants=1)
+    )
+
+    # --- baseline: concurrent jobs, fault tolerance off, no faults -----
+    sim0 = Simulator()
+    node0 = ComputeNode(sim0, node_preset(preset.node))
+    engine0 = ExecutionEngine(
+        node0, registry, library, use_daemon=True, daemon_period_ns=100_000.0
+    )
+    manager0, handles0 = _submit_job_mix(preset, engine0, policies)
+    baseline = manager0.run()
+
+    # --- chaos: self-healing runtime + seeded fault plan ---------------
+    ft = FaultTolerancePolicy(
+        heartbeat_period_ns=preset.heartbeat_period_ns,
+        max_attempts=preset.max_attempts,
+    )
+    sim = Simulator()
+    node = ComputeNode(sim, node_preset(preset.node))
+    engine = ExecutionEngine(
+        node, registry, library,
+        use_daemon=True, daemon_period_ns=100_000.0,
+        fault_tolerance=ft, telemetry=telemetry,
+    )
+    manager, handles = _submit_job_mix(preset, engine, policies)
+    lo, hi = preset.window_fraction
+    config = ChaosConfig(
+        worker_crashes=preset.worker_crashes,
+        transient_fraction=preset.transient_fraction,
+        worker_downtime_ns=preset.worker_downtime_ns,
+        link_degradations=preset.link_degradations,
+        link_drop_rate=preset.link_drop_rate,
+        link_latency_multiplier=preset.link_latency_multiplier,
+        window_ns=(lo * baseline.makespan_ns, hi * baseline.makespan_ns),
+    )
+    controller = ChaosController(sim, seed=seed, telemetry=telemetry)
+    controller.schedule_random(engine, node.network.links, config=config)
+    controller.arm()
+    chaos = manager.run()
+
+    verdicts = []
+    for h0, h in zip(handles0, handles):
+        outcome = chaos.job(h.job_id)
+        verdicts.append(
+            JobChaosVerdict(
+                job_id=h.job_id,
+                policy=h.policy.name,
+                priority=h.priority,
+                tasks=outcome.report.tasks,
+                tasks_retried=outcome.report.tasks_retried,
+                tasks_unrecovered=outcome.report.tasks_unrecovered,
+                latency_ns=outcome.latency_ns,
+                workload_match=(
+                    graph_signature(h0.graph) == graph_signature(h.graph)
+                ),
+            )
+        )
+    return MultiJobChaosReport(
+        preset=preset_name,
+        seed=seed,
+        baseline=baseline,
+        chaos=chaos,
+        verdicts=verdicts,
+        faults_planned=controller.faults_planned,
+        faults_injected=controller.faults_injected,
+        plan=[f.to_dict() for f in controller.plan],
     )

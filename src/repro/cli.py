@@ -9,7 +9,8 @@ Commands:
 - ``trace``       run a preset with telemetry, export a Perfetto trace,
 - ``metrics``     run a preset with telemetry, dump the metrics snapshot,
 - ``experiment``  run one DESIGN.md experiment's bench and print its tables,
-- ``chaos``       inject faults into a run and verify the runtime self-heals.
+- ``chaos``       inject faults into a run and verify the runtime self-heals,
+- ``jobs``        run a multi-tenant job mix and report per-job outcomes.
 """
 
 from __future__ import annotations
@@ -275,6 +276,57 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.apps import make_layered_dag
+    from repro.core import ComputeNode
+    from repro.core.runtime import ExecutionEngine, JobManager
+    from repro.presets import compiled_suite, job_preset, node_preset
+    from repro.sim import Simulator
+
+    mix = job_preset(args.preset)
+    print(f"compiling the kernel suite, running job mix {args.preset!r} "
+          f"({len(mix.jobs)} jobs on node preset {mix.node!r})...",
+          file=sys.stderr)
+    registry, library = compiled_suite(max_variants=1)
+    sim = Simulator()
+    node = ComputeNode(sim, node_preset(mix.node))
+    engine = ExecutionEngine(
+        node, registry, library, use_daemon=True, daemon_period_ns=100_000.0,
+    )
+    manager = JobManager(engine)
+    for spec in mix.jobs:
+        graph = make_layered_dag(
+            layers=spec.layers, width=spec.width, num_workers=len(node),
+            functions=("saxpy", "stencil5", "montecarlo"),
+            seed=spec.graph_seed + args.seed,
+        )
+        manager.submit_job(
+            graph, policy=spec.policy, priority=spec.priority,
+            dataflow=spec.dataflow,
+        )
+    report = manager.run()
+    if args.out:
+        _write_or_print(report.json(indent=2), args.out)
+    print(f"  machine makespan : {report.makespan_ns / 1e6:.3f} ms "
+          f"({report.tasks} tasks across {len(report.jobs)} jobs)")
+    print(f"  throughput       : "
+          f"{report.aggregate_throughput_tasks_per_ms:.1f} tasks/ms aggregate")
+    print(f"  fairness (Jain)  : {report.fairness_index():.3f}")
+    print(f"  energy           : {report.energy_pj / 1e9:.3f} mJ, "
+          f"{report.reconfigurations} reconfigurations")
+    print("  job  policy     prio  tasks  sw/hw      latency      tasks/ms")
+    for job in report.jobs:
+        r = job.report
+        print(f"  {job.job_id:>3d}  {job.policy:<10s} {job.priority:>4d} "
+              f"{r.tasks:>6d}  {r.sw_calls:>3d}/{r.hw_calls:<3d} "
+              f"{job.latency_ns / 1e6:>9.3f} ms "
+              f"{job.throughput_tasks_per_ms:>11.1f}")
+    if report.tasks_unrecovered:
+        print(f"  WARNING: {report.tasks_unrecovered} unrecovered tasks")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -341,6 +393,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events-out", default=None,
                    help="write the fault plan/injection JSON here")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("jobs", help="multi-tenant job mix -> per-job reports")
+    # keep in sync with repro.presets.JOB_PRESETS (not imported here:
+    # parser construction must stay light for every subcommand)
+    p.add_argument("preset", nargs="?", default="mini",
+                   choices=("mini", "board", "chassis"),
+                   help="job mix to run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="offset added to every job's graph seed")
+    p.add_argument("--out", default=None,
+                   help="write the canonical MachineReport JSON here")
+    p.set_defaults(fn=_cmd_jobs)
 
     return parser
 

@@ -26,6 +26,13 @@ from repro.core.runtime.faults import (
     WorkerFailureRecord,
 )
 from repro.core.runtime.history import ExecutionHistory, ExecutionRecord
+from repro.core.runtime.jobs import (
+    JobHandle,
+    JobManager,
+    JobRecord,
+    JobRegistry,
+    JobState,
+)
 from repro.core.runtime.lazy import LazyStatusTracker, LocalWorkQueue
 from repro.core.runtime.monitoring import (
     CallProfile,
@@ -42,6 +49,16 @@ from repro.core.runtime.models import (
     PcaRegressor,
     kernel_features,
 )
+from repro.core.runtime.policy import (
+    POLICIES,
+    EnergyAwarePolicy,
+    GreedyHardwarePolicy,
+    LocalityPolicy,
+    PolicyConfig,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.core.runtime.report import JobOutcome, MachineReport
 from repro.core.runtime.scheduler import WorkItem, WorkerScheduler
 
 __all__ = [
@@ -73,4 +90,20 @@ __all__ = [
     "WorkItem",
     "WorkerScheduler",
     "kernel_features",
+    # policy layer
+    "POLICIES",
+    "EnergyAwarePolicy",
+    "GreedyHardwarePolicy",
+    "LocalityPolicy",
+    "PolicyConfig",
+    "SchedulingPolicy",
+    "make_policy",
+    # session/job layer
+    "JobHandle",
+    "JobManager",
+    "JobOutcome",
+    "JobRecord",
+    "JobRegistry",
+    "JobState",
+    "MachineReport",
 ]

@@ -6,32 +6,38 @@ whether the function will be executed in software or in hardware based on
 the local status and the status of other Workers in the vicinity."
 
 :class:`WorkDistributor` answers the *where* question: which Worker's
-queue a task should join, trading data affinity (UNIMEM home of its
-working set) against believed load (from the lazy tracker).  The *how*
+queue a task should join.  Since the policy extraction it is pure
+mechanism -- the affinity-vs-load trade itself lives in the per-job
+:class:`~repro.core.runtime.policy.SchedulingPolicy` (looked up through
+the shared :class:`~repro.core.runtime.jobs.JobRegistry`); the
+distributor supplies the decision context (node topology, queues, the
+lazy tracker, and the UNILOGIC domain when the engine wired it) and
+keeps the machine-wide plus per-tenant locality accounting.  The *how*
 (SW vs. HW) is the per-worker scheduler's job.
+
+The old ``DistributionPolicy`` weights dataclass grew into the shared
+:class:`~repro.core.runtime.policy.PolicyConfig`; the name remains as an
+alias, re-exported here for existing callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Set
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Set
 
 from repro.apps.taskgraph import Task
 from repro.core.compute_node import ComputeNode
+from repro.core.runtime.jobs import JobRegistry
 from repro.core.runtime.lazy import LazyStatusTracker, LocalWorkQueue
+from repro.core.runtime.policy import (
+    DistributionPolicy,
+    GreedyHardwarePolicy,
+    PolicyConfig,
+)
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.unilogic import UnilogicDomain
 
-@dataclass(frozen=True)
-class DistributionPolicy:
-    """Weights of the placement score (lower score wins).
-
-    ``transfer_penalty_ns_per_byte_hop`` prices moving the task's data;
-    ``load_penalty_ns`` prices one queued task ahead of us.
-    """
-
-    transfer_penalty_ns_per_byte_hop: float = 0.1
-    load_penalty_ns: float = 20_000.0
-    data_affinity_only: bool = False  # ablation: ignore load entirely
+__all__ = ["DistributionPolicy", "PolicyConfig", "WorkDistributor"]
 
 
 class WorkDistributor:
@@ -42,7 +48,8 @@ class WorkDistributor:
         node: ComputeNode,
         queues: List[LocalWorkQueue],
         tracker: LazyStatusTracker,
-        policy: DistributionPolicy = DistributionPolicy(),
+        policy: PolicyConfig = PolicyConfig(),
+        jobs: Optional[JobRegistry] = None,
     ) -> None:
         if len(queues) != len(node):
             raise ValueError("one queue per worker required")
@@ -50,6 +57,12 @@ class WorkDistributor:
         self.queues = queues
         self.tracker = tracker
         self.policy = policy
+        # standalone distributors (tests) get a single-tenant registry
+        # whose default policy carries this config
+        self.jobs = (
+            jobs if jobs is not None else JobRegistry(GreedyHardwarePolicy(policy))
+        )
+        self.unilogic: Optional["UnilogicDomain"] = None  # wired by the engine
         self.placements_local = 0   # task placed with its data
         self.placements_remote = 0
         self._down: Set[int] = set()   # failed Workers, out of the pool
@@ -77,30 +90,27 @@ class WorkDistributor:
         return alive or list(range(len(self.queues)))
 
     def score(self, task: Task, worker: int, observer: int) -> float:
-        data_bytes = task.input_bytes + task.output_bytes
-        hops = self.node.hop_distance(task.data_worker, worker)
-        transfer = hops * data_bytes * self.policy.transfer_penalty_ns_per_byte_hop
-        if self.policy.data_affinity_only:
-            return transfer
-        load = self.tracker.estimated_load(observer, worker)
-        return transfer + load * self.policy.load_penalty_ns
-
-    def choose_worker(self, task: Task, observer: int = 0) -> int:
-        """The Worker whose (affinity + load) score is lowest, among the
-        Workers currently in the placement pool."""
-        best = min(
-            self.alive_workers(),
-            key=lambda w: (self.score(task, w, observer), w),
+        """The default policy's placement score (kept as the historical
+        query API; per-job scoring goes through :meth:`choose_worker`)."""
+        return self.jobs.default_policy.placement_score(
+            self, task, worker, observer
         )
-        if best == task.data_worker:
+
+    def choose_worker(self, task: Task, observer: int = 0, job: int = 0) -> int:
+        """The Worker the job's policy picks among the Workers currently
+        in the placement pool."""
+        best = self.jobs.policy(job).choose_worker(self, task, observer)
+        local = best == task.data_worker
+        if local:
             self.placements_local += 1
         else:
             self.placements_remote += 1
+        self.jobs.record(job).note_placement(local)
         return best
 
-    def dispatch(self, task: Task, observer: int = 0) -> int:
+    def dispatch(self, task: Task, observer: int = 0, job: int = 0) -> int:
         """Choose and enqueue; returns the chosen worker id."""
-        worker = self.choose_worker(task, observer)
+        worker = self.choose_worker(task, observer, job)
         self.queues[worker].push(task)
         return worker
 

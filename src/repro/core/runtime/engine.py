@@ -1,68 +1,44 @@
-"""The Execution Engine: drives task graphs through the runtime.
+"""The Execution Engine: the mechanism layer of the runtime.
 
 This is the top box of Fig. 5: it owns the work-distribution step, the
 per-Worker schedulers, the Execution History, the prediction models and
-the reconfiguration daemon, and reports what happened.
+the reconfiguration daemon.  Since the multi-tenant split it is
+*job-agnostic*: every task carries a job id, device/placement decisions
+are delegated to the per-job :class:`~repro.core.runtime.policy.
+SchedulingPolicy` through the :class:`~repro.core.runtime.jobs.
+JobRegistry`, and streams of jobs are admitted by the
+:class:`~repro.core.runtime.jobs.JobManager` session layer.
+``run_graph`` remains as the thin single-job wrapper (bit-identical to
+the pre-multi-tenant runtime).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.apps.taskgraph import TaskGraph
+from repro.apps.taskgraph import Task, TaskGraph
 from repro.core.compute_node import ComputeNode
 from repro.core.runtime.daemon import ReconfigurationDaemon
-from repro.core.runtime.distribution import DistributionPolicy, WorkDistributor
+from repro.core.runtime.distribution import WorkDistributor
 from repro.core.runtime.faults import FaultTolerancePolicy, TaskSupervisor
 from repro.core.runtime.history import ExecutionHistory
+from repro.core.runtime.jobs import JobManager, JobRegistry
 from repro.core.runtime.lazy import LazyStatusTracker, LocalWorkQueue
 from repro.core.runtime.models import DeviceSelector
+from repro.core.runtime.policy import (
+    DistributionPolicy,
+    GreedyHardwarePolicy,
+    PolicyConfig,
+    SchedulingPolicy,
+)
+from repro.core.runtime.report import RunReport
 from repro.core.runtime.scheduler import WorkerScheduler, WorkItem
 from repro.core.unilogic import UnilogicDomain
 from repro.core.worker import FunctionRegistry
 from repro.fabric.module_library import ModuleLibrary
-from repro.sim import AllOf, Process, spawn
+from repro.sim import Process, spawn
 
-
-@dataclass
-class RunReport:
-    """What one task-graph run did.
-
-    The availability block (``worker_failures`` onward) stays at zero on
-    every run without fault tolerance armed -- disabled parity.
-    """
-
-    makespan_ns: float
-    tasks: int
-    sw_calls: int
-    hw_calls: int
-    energy_pj: float
-    energy_breakdown: Dict[str, float]
-    reconfigurations: int
-    status_messages: int
-    placement_locality: float
-    device_mix: Dict[str, int] = field(default_factory=dict)
-    # availability / recovery metrics (populated when FT is armed)
-    faults_injected: int = 0
-    worker_failures: int = 0
-    tasks_retried: int = 0
-    tasks_unrecovered: int = 0
-    mean_detection_ns: float = 0.0
-    mean_recovery_ns: float = 0.0
-    work_lost_ns: float = 0.0
-    fabric_recoveries: int = 0
-    fabric_recovery_failures: int = 0
-
-    @property
-    def hw_fraction(self) -> float:
-        total = self.sw_calls + self.hw_calls
-        return self.hw_calls / total if total else 0.0
-
-    @property
-    def availability_ok(self) -> bool:
-        """Every task completed despite whatever faults were injected."""
-        return self.tasks_unrecovered == 0
+__all__ = ["ExecutionEngine", "RunReport", "DistributionPolicy"]
 
 
 class ExecutionEngine:
@@ -81,7 +57,8 @@ class ExecutionEngine:
         retrain_every: int = 0,
         allow_hardware: bool = True,
         energy_weight: float = 0.0,
-        distribution_policy: DistributionPolicy = DistributionPolicy(),
+        distribution_policy: PolicyConfig = PolicyConfig(),
+        policy: Optional[SchedulingPolicy] = None,
         tracer=None,
         telemetry=None,
         fault_tolerance: Optional[FaultTolerancePolicy] = None,
@@ -97,6 +74,14 @@ class ExecutionEngine:
         if self.telemetry is not None and tracer is None:
             tracer = self.telemetry.tracer
 
+        # the policy layer: one shared config, a default policy, and the
+        # per-job registry the mechanism reads decisions through
+        self.policy_config = distribution_policy
+        self.default_policy = (
+            policy if policy is not None else GreedyHardwarePolicy(distribution_policy)
+        )
+        self.jobs = JobRegistry(self.default_policy)
+
         self.queues: List[LocalWorkQueue] = [
             LocalWorkQueue(node.sim, w.worker_id) for w in node.workers
         ]
@@ -104,8 +89,9 @@ class ExecutionEngine:
             node.sim, self.queues, status_refresh_ns, lazy=lazy_status
         )
         self.distributor = WorkDistributor(
-            node, self.queues, self.tracker, distribution_policy
+            node, self.queues, self.tracker, distribution_policy, jobs=self.jobs
         )
+        self.distributor.unilogic = self.unilogic
         self.schedulers: List[WorkerScheduler] = [
             WorkerScheduler(
                 node,
@@ -119,6 +105,7 @@ class ExecutionEngine:
                 allow_hardware=allow_hardware,
                 tracer=tracer,
                 telemetry=self.telemetry,
+                jobs=self.jobs,
             )
             for w in node.workers
         ]
@@ -191,13 +178,16 @@ class ExecutionEngine:
             )
         self._started = True
 
-    def submit_layer(self, tasks) -> List[WorkItem]:
+    def submit_task(self, task: Task, job_id: int = 0) -> WorkItem:
+        """Place one task (via its job's policy) onto a Worker's queue."""
+        worker = self.distributor.choose_worker(task, observer=0, job=job_id)
+        return self.schedulers[worker].submit(task, job_id=job_id)
+
+    def submit_layer(
+        self, tasks: Sequence[Task], job_id: int = 0
+    ) -> List[WorkItem]:
         """Distribute one dependence layer onto the workers' queues."""
-        items: List[WorkItem] = []
-        for task in tasks:
-            worker = self.distributor.choose_worker(task, observer=0)
-            items.append(self.schedulers[worker].submit(task))
-        return items
+        return [self.submit_task(task, job_id=job_id) for task in tasks]
 
     def stop(self) -> None:
         """Shut the scheduler loops, the daemon and the FT machinery down."""
@@ -269,62 +259,19 @@ class ExecutionEngine:
             )
 
     # ------------------------------------------------------------------
-    def _driver(self, graph: TaskGraph) -> Generator:
-        """Dispatch layer by layer, honouring DAG dependences by barrier."""
-        completed = 0
-        for layer in graph.layers():
-            items = self.submit_layer(layer)
-            yield AllOf([item.done for item in items])
-            completed += len(items)
-            if self.retrain_every and self.selector is not None:
-                if completed // self.retrain_every != (completed - len(items)) // self.retrain_every:
-                    self.selector.train(self.history)
-                    if self.telemetry is not None:
-                        self.telemetry.event(
-                            "runtime.retrain",
-                            f"{self.node.name}.runtime",
-                            completed=completed,
-                            history=len(self.history),
-                        )
-        return completed
-
-    def _dataflow_driver(self, graph: TaskGraph) -> Generator:
-        """Dependence-triggered dispatch: every task is released the
-        moment its own predecessors complete -- no layer barrier, so
-        independent chains pipeline across layers ("execute, fork, and
-        join tasks or threads ... in parallel", Section 4.1)."""
-        sim = self.node.sim
-        done_signals = {}
-        items = []
-
-        def watcher(task) -> Generator:
-            deps = [done_signals[d] for d in task.deps]
-            if deps:
-                yield AllOf(deps)
-            worker = self.distributor.choose_worker(task, observer=0)
-            item = self.schedulers[worker].submit(task)
-            items.append(item)
-            result = yield item.done
-            return result
-
-        for task in graph.tasks:
-            proc = spawn(sim, watcher(task), name=f"dep.{task.task_id}")
-            done_signals[task.task_id] = proc.done
-        yield AllOf([done_signals[t.task_id] for t in graph.tasks])
-        return len(items)
-
     def run_graph(self, graph: TaskGraph, dataflow: bool = False) -> RunReport:
         """Run ``graph`` to completion; returns the :class:`RunReport`.
 
-        ``dataflow=True`` replaces the layer-barrier driver with
-        dependence-triggered dispatch (usually a makespan win on DAGs
-        with uneven layers).
+        A thin single-job wrapper over the :class:`~repro.core.runtime.
+        jobs.JobManager` session layer, with fair-share admission
+        disabled so the event sequence is bit-identical to the
+        pre-multi-tenant runtime.  ``dataflow=True`` replaces the
+        layer-barrier driver with dependence-triggered dispatch (usually
+        a makespan win on DAGs with uneven layers).
         """
         sim = self.node.sim
         start = sim.now
         self.start()
-        finished = {}
-        driver = self._dataflow_driver if dataflow else self._driver
         if self.telemetry is not None:
             self.telemetry.event(
                 "runtime.run_start",
@@ -332,22 +279,22 @@ class ExecutionEngine:
                 tasks=len(graph),
                 dataflow=dataflow,
             )
+        manager = JobManager(self, fair_share=False)
+        handle = manager.submit_job(graph, dataflow=dataflow)
+        if self.telemetry is not None:
 
-        def main() -> Generator:
-            yield from driver(graph)
-            finished["at"] = sim.now  # last task completion, not queue drain
-            if self.telemetry is not None:
+            def run_end() -> None:
                 self.telemetry.event(
                     "runtime.run_end",
                     f"{self.node.name}.runtime",
                     tasks=len(graph),
                     makespan_ns=sim.now - start,
                 )
-            self.stop()
 
-        spawn(sim, main(), name="engine")
+            handle.on_done = run_end
         sim.run()
-        return self._report(graph, finished.get("at", sim.now) - start)
+        end = handle.finished_at if handle.finished_at is not None else sim.now
+        return self._report(graph, end - start)
 
     # ------------------------------------------------------------------
     def _report(self, graph: TaskGraph, makespan: float) -> RunReport:

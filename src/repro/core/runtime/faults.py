@@ -225,10 +225,15 @@ class TaskSupervisor:
         if not alive:
             self._give_up(item, record)
             return
-        worker = self.engine.distributor.choose_worker(item.task, observer=0)
+        # re-place through the owning job's policy: retries preserve
+        # tenant isolation (same job id, same decision rules)
+        worker = self.engine.distributor.choose_worker(
+            item.task, observer=0, job=item.job_id
+        )
         item.redispatched = False       # back in a live queue, claimable again
         self.engine.schedulers[worker].resubmit(item)
         self.tasks_retried += 1
+        self.engine.jobs.record(item.job_id).tasks_retried += 1
         if self.telemetry is not None:
             self.telemetry.event(
                 "runtime.task_retry",
@@ -237,6 +242,7 @@ class TaskSupervisor:
                 function=item.task.function,
                 attempt=item.attempts,
                 worker=worker,
+                job=item.job_id,
             )
         yield item.done
         record.outstanding -= 1
@@ -253,6 +259,7 @@ class TaskSupervisor:
     def _give_up(self, item: WorkItem, record: WorkerFailureRecord) -> None:
         item.failed = True
         self.unrecovered.append(item)
+        self.engine.jobs.record(item.job_id).tasks_unrecovered += 1
         record.outstanding -= 1
         if record.outstanding == 0 and record.recovered_at is None:
             record.recovered_at = self.engine.node.sim.now
@@ -263,6 +270,7 @@ class TaskSupervisor:
                 task=item.task.task_id,
                 function=item.task.function,
                 attempts=item.attempts,
+                job=item.job_id,
             )
         if not item.done.triggered:
             item.done.succeed(item)     # unblock the driver: the run ends

@@ -26,6 +26,7 @@ class ExecutionRecord:
     latency_ns: float
     energy_pj: float
     timestamp: float       # simulated time of completion
+    job: int = 0           # owning tenant (0 = the implicit legacy job)
 
     def __post_init__(self) -> None:
         if self.device not in ("sw", "hw"):
@@ -64,6 +65,7 @@ class ExecutionHistory:
         function: Optional[str] = None,
         device: Optional[str] = None,
         since: Optional[float] = None,
+        job: Optional[int] = None,
     ) -> List[ExecutionRecord]:
         out = self._records
         if function is not None:
@@ -72,6 +74,8 @@ class ExecutionHistory:
             out = [r for r in out if r.device == device]
         if since is not None:
             out = [r for r in out if r.timestamp >= since]
+        if job is not None:
+            out = [r for r in out if r.job == job]
         return list(out)
 
     def functions(self) -> List[str]:
@@ -90,6 +94,21 @@ class ExecutionHistory:
         if not recs:
             return None
         return sum(r.latency_ns for r in recs) / len(recs)
+
+    def mean_energy(
+        self, function: str, device: Optional[str] = None
+    ) -> Optional[float]:
+        recs = self.records(function, device)
+        if not recs:
+            return None
+        return sum(r.energy_pj for r in recs) / len(recs)
+
+    def call_counts_by_job(self, since: Optional[float] = None) -> Dict[int, int]:
+        """Calls per tenant -- the per-job utilization view."""
+        counts: Dict[int, int] = {}
+        for r in self.records(since=since):
+            counts[r.job] = counts.get(r.job, 0) + 1
+        return counts
 
     def total_time_by_function(self, since: Optional[float] = None) -> Dict[str, float]:
         """Aggregate busy time per function -- the daemon's hotness metric."""

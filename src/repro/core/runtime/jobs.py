@@ -1,0 +1,478 @@
+"""The session/job layer: streams of jobs multiplexed onto one machine.
+
+The paper's runtime (Fig. 2/5) serves *streams* of tasks from many
+applications over shared reconfigurable Workers.  This module is that
+layer: a :class:`JobManager` admits a stream of jobs onto one simulated
+machine's :class:`~repro.core.runtime.engine.ExecutionEngine`, runs them
+concurrently over the shared Workers, and rolls per-job
+:class:`~repro.core.runtime.report.RunReport` s up into a
+:class:`~repro.core.runtime.report.MachineReport`.
+
+Three pieces:
+
+- :class:`JobRecord` / :class:`JobRegistry` -- the *mechanism-side*
+  per-tenant accounting (which policy decides for a task, how many
+  calls/joules each tenant consumed).  Schedulers, the distributor and
+  the supervisor only ever see job *ids* on work items and write their
+  accounting through the registry -- they stay job-agnostic.
+- :class:`JobHandle` -- the *session-side* view of one submitted job:
+  state, completion signal, fair-share admission bookkeeping, and the
+  final per-job report.
+- :class:`JobManager` -- admission control plus one driver process per
+  job.  ``submit_job(graph, policy, priority)`` returns immediately
+  with a handle; drivers respect DAG dependences (layer-barrier or
+  dataflow dispatch) and a weighted fair share of the machine's task
+  slots, so a heavy tenant cannot starve a light one.
+
+Fair-share admission: the machine offers ``slots_per_worker x workers``
+concurrent task slots.  Each job's share is fixed when its driver starts,
+as ``max(1, total_slots * priority / sum(active priorities))``.  A task
+holds its job's slot from submission until its completion signal fires
+-- including across supervisor retries after a Worker crash, so one
+job's recovery never consumes another job's slots.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional, Union
+
+from repro.core.runtime.policy import PolicyConfig, SchedulingPolicy, make_policy
+from repro.core.runtime.report import JobOutcome, MachineReport, RunReport
+from repro.sim import AllOf, Process, Signal, spawn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.apps.taskgraph import Task, TaskGraph
+    from repro.core.runtime.engine import ExecutionEngine
+    from repro.core.runtime.scheduler import WorkItem
+
+
+# ----------------------------------------------------------------------
+# mechanism-side tenant accounting
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class JobRecord:
+    """Per-tenant counters the mechanism layer writes through.
+
+    Job 0 is the implicit legacy tenant: untagged ``submit_layer`` /
+    ``submit_task`` calls land here under the engine's default policy.
+    """
+
+    job_id: int
+    policy: SchedulingPolicy
+    priority: int = 1
+    tasks_done: int = 0
+    sw_calls: int = 0
+    hw_calls: int = 0
+    energy_pj: float = 0.0
+    energy_by_device: Dict[str, float] = field(default_factory=dict)
+    placements_local: int = 0
+    placements_remote: int = 0
+    tasks_retried: int = 0
+    tasks_unrecovered: int = 0
+    work_lost_ns: float = 0.0
+
+    def note_done(self, device: str, energy_pj: float) -> None:
+        """One completed call of this tenant (scheduler-side hook)."""
+        self.tasks_done += 1
+        if device == "hw":
+            self.hw_calls += 1
+        else:
+            self.sw_calls += 1
+        self.energy_pj += energy_pj
+        self.energy_by_device[device] = (
+            self.energy_by_device.get(device, 0.0) + energy_pj
+        )
+
+    def note_placement(self, local: bool) -> None:
+        if local:
+            self.placements_local += 1
+        else:
+            self.placements_remote += 1
+
+    def locality_fraction(self) -> float:
+        total = self.placements_local + self.placements_remote
+        return self.placements_local / total if total else 1.0
+
+
+class JobRegistry:
+    """job id -> :class:`JobRecord`; the one table the mechanism reads.
+
+    Created by the engine with its default policy; the session layer
+    registers additional tenants.  Unknown ids resolve to a fresh record
+    under the default policy, so a bare scheduler never key-errors.
+    """
+
+    def __init__(self, default_policy: SchedulingPolicy) -> None:
+        self.default_policy = default_policy
+        self._records: Dict[int, JobRecord] = {
+            0: JobRecord(0, default_policy)
+        }
+
+    def register(
+        self, job_id: int, policy: SchedulingPolicy, priority: int = 1
+    ) -> JobRecord:
+        if job_id in self._records and self._records[job_id].tasks_done:
+            raise ValueError(f"job {job_id} already registered and active")
+        record = JobRecord(job_id, policy, priority)
+        self._records[job_id] = record
+        return record
+
+    def record(self, job_id: int) -> JobRecord:
+        rec = self._records.get(job_id)
+        if rec is None:
+            rec = JobRecord(job_id, self.default_policy)
+            self._records[job_id] = rec
+        return rec
+
+    def policy(self, job_id: int) -> SchedulingPolicy:
+        return self.record(job_id).policy
+
+    def job_ids(self) -> List[int]:
+        return sorted(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records.values())
+
+
+# ----------------------------------------------------------------------
+# session-side handles
+# ----------------------------------------------------------------------
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class JobHandle:
+    """The session-layer view of one submitted job."""
+
+    job_id: int
+    graph: "TaskGraph"
+    policy: SchedulingPolicy
+    priority: int
+    dataflow: bool
+    record: JobRecord
+    done: Signal
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    state: JobState = JobState.PENDING
+    report: Optional[RunReport] = None
+    # fair-share admission bookkeeping
+    share: Optional[int] = None          # None = unthrottled
+    in_flight: int = 0
+    peak_in_flight: int = 0
+    on_done: Optional[Callable[[], None]] = None
+    process: Optional[Process] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state is JobState.DONE
+
+    @property
+    def latency_ns(self) -> float:
+        if self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.submitted_at
+
+
+# ----------------------------------------------------------------------
+# the job manager
+# ----------------------------------------------------------------------
+
+
+class JobManager:
+    """Admits a stream of jobs onto one engine's shared Workers.
+
+    ``fair_share=False`` disables admission throttling entirely (no
+    slot watcher processes are spawned), which is the legacy single-job
+    path ``ExecutionEngine.run_graph`` rides -- bit-identical to the
+    pre-multi-tenant runtime.
+    """
+
+    def __init__(
+        self,
+        engine: "ExecutionEngine",
+        slots_per_worker: int = 2,
+        fair_share: bool = True,
+        auto_stop: bool = True,
+    ) -> None:
+        if slots_per_worker < 1:
+            raise ValueError("slots_per_worker must be >= 1")
+        self.engine = engine
+        self.sim = engine.node.sim
+        self.fair_share = fair_share
+        self.auto_stop = auto_stop
+        self.total_slots = slots_per_worker * len(engine.node.workers)
+        self.handles: List[JobHandle] = []
+        self._ids = itertools.count(1)  # 0 is the legacy/default tenant
+        self._active = 0
+        self._wakeup = Signal(self.sim)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def _resolve_policy(
+        self, policy: Union[None, str, SchedulingPolicy]
+    ) -> SchedulingPolicy:
+        if policy is None:
+            return self.engine.default_policy
+        if isinstance(policy, str):
+            return make_policy(policy, self.engine.policy_config)
+        return policy
+
+    def submit_job(
+        self,
+        graph: "TaskGraph",
+        policy: Union[None, str, SchedulingPolicy] = None,
+        priority: int = 1,
+        dataflow: bool = False,
+    ) -> JobHandle:
+        """Admit one job onto the machine; returns its handle.
+
+        ``policy`` may be a :class:`SchedulingPolicy` instance, a
+        built-in policy name (``greedy-hw``, ``energy``, ``locality``),
+        or ``None`` for the engine's default.  ``priority`` weights the
+        job's fair share of the machine's task slots.
+        """
+        if priority < 1:
+            raise ValueError(f"priority must be >= 1, got {priority}")
+        resolved = self._resolve_policy(policy)
+        job_id = next(self._ids)
+        record = self.engine.jobs.register(job_id, resolved, priority)
+        handle = JobHandle(
+            job_id=job_id,
+            graph=graph,
+            policy=resolved,
+            priority=priority,
+            dataflow=dataflow,
+            record=record,
+            done=Signal(self.sim),
+            submitted_at=self.sim.now,
+        )
+        self.handles.append(handle)
+        self._active += 1
+        self.engine.start()
+        handle.process = spawn(
+            self.sim, self._drive(handle), name=f"job{job_id}"
+        )
+        if self.engine.telemetry is not None:
+            self.engine.telemetry.event(
+                "runtime.job_submitted",
+                f"{self.engine.node.name}.runtime",
+                job=job_id,
+                policy=resolved.name,
+                priority=priority,
+                tasks=len(graph),
+            )
+        return handle
+
+    # ------------------------------------------------------------------
+    # fair-share admission
+    # ------------------------------------------------------------------
+    def _fair_share_of(self, job: JobHandle) -> int:
+        active = [h for h in self.handles if not h.finished]
+        total_priority = sum(h.priority for h in active) or job.priority
+        return max(1, (self.total_slots * job.priority) // total_priority)
+
+    def _admit(self, job: JobHandle) -> Generator:
+        """Block the driver until the job is under its slot share."""
+        if job.share is None:
+            return
+        while job.in_flight >= job.share:
+            yield self._wakeup
+
+    def _track(self, job: JobHandle, item: "WorkItem") -> None:
+        """Account one admitted task against the job's slots; the slot
+        frees when the item's completion signal fires -- retries of the
+        same item keep holding the same slot."""
+        if job.share is None:
+            return
+        job.in_flight += 1
+        job.peak_in_flight = max(job.peak_in_flight, job.in_flight)
+
+        def release() -> Generator:
+            yield item.done
+            job.in_flight -= 1
+            self._kick()
+
+        spawn(self.sim, release(), name=f"slot.j{job.job_id}.{item.task.task_id}")
+
+    def _kick(self) -> None:
+        """Wake every driver blocked on admission to re-check its share."""
+        stale, self._wakeup = self._wakeup, Signal(self.sim)
+        stale.succeed(None)
+
+    # ------------------------------------------------------------------
+    # drivers (one simulation process per job)
+    # ------------------------------------------------------------------
+    def _drive(self, job: JobHandle) -> Generator:
+        engine = self.engine
+        job.started_at = self.sim.now
+        job.state = JobState.RUNNING
+        if self.fair_share:
+            job.share = self._fair_share_of(job)
+        if engine.telemetry is not None:
+            engine.telemetry.event(
+                "runtime.job_start",
+                f"{engine.node.name}.runtime",
+                job=job.job_id,
+                policy=job.policy.name,
+                share=job.share,
+            )
+        driver = self._dataflow_driver if job.dataflow else self._layer_driver
+        yield from driver(job)
+        job.finished_at = self.sim.now
+        job.state = JobState.DONE
+        job.report = self._job_report(job)
+        if engine.telemetry is not None:
+            engine.telemetry.event(
+                "runtime.job_end",
+                f"{engine.node.name}.runtime",
+                job=job.job_id,
+                policy=job.policy.name,
+                latency_ns=job.latency_ns,
+                tasks=len(job.graph),
+                retried=job.record.tasks_retried,
+            )
+        if job.on_done is not None:
+            job.on_done()
+        job.done.succeed(job)
+        self._active -= 1
+        if self._active == 0 and self.auto_stop:
+            engine.stop()
+
+    def _layer_driver(self, job: JobHandle) -> Generator:
+        """Dispatch layer by layer, honouring DAG dependences by barrier."""
+        engine = self.engine
+        completed = 0
+        for layer in job.graph.layers():
+            items: List["WorkItem"] = []
+            for task in layer:
+                yield from self._admit(job)
+                item = engine.submit_task(task, job_id=job.job_id)
+                self._track(job, item)
+                items.append(item)
+            yield AllOf([item.done for item in items])
+            completed += len(items)
+            if engine.retrain_every and engine.selector is not None:
+                if completed // engine.retrain_every != (
+                    completed - len(items)
+                ) // engine.retrain_every:
+                    engine.selector.train(engine.history)
+                    if engine.telemetry is not None:
+                        engine.telemetry.event(
+                            "runtime.retrain",
+                            f"{engine.node.name}.runtime",
+                            completed=completed,
+                            history=len(engine.history),
+                        )
+        return completed
+
+    def _dataflow_driver(self, job: JobHandle) -> Generator:
+        """Dependence-triggered dispatch: every task is released the
+        moment its own predecessors complete -- no layer barrier, so
+        independent chains pipeline across layers."""
+        engine = self.engine
+        done_signals: Dict[int, Signal] = {}
+        items: List["WorkItem"] = []
+
+        def watcher(task: "Task") -> Generator:
+            deps = [done_signals[d] for d in task.deps]
+            if deps:
+                yield AllOf(deps)
+            yield from self._admit(job)
+            item = engine.submit_task(task, job_id=job.job_id)
+            self._track(job, item)
+            items.append(item)
+            result = yield item.done
+            return result
+
+        for task in job.graph.tasks:
+            proc = spawn(
+                self.sim, watcher(task), name=f"dep.j{job.job_id}.{task.task_id}"
+            )
+            done_signals[task.task_id] = proc.done
+        yield AllOf([done_signals[t.task_id] for t in job.graph.tasks])
+        return len(items)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _job_report(self, job: JobHandle) -> RunReport:
+        """Roll one tenant's counters into a per-job :class:`RunReport`.
+
+        Machine-shared counters (reconfigurations, status traffic,
+        machine-wide failure detection) live on the
+        :class:`MachineReport`, not on any single tenant.
+        """
+        rec = job.record
+        return RunReport(
+            makespan_ns=job.latency_ns,
+            tasks=len(job.graph),
+            sw_calls=rec.sw_calls,
+            hw_calls=rec.hw_calls,
+            energy_pj=rec.energy_pj,
+            energy_breakdown=dict(rec.energy_by_device),
+            reconfigurations=0,
+            status_messages=0,
+            placement_locality=rec.locality_fraction(),
+            device_mix={"sw": rec.sw_calls, "hw": rec.hw_calls},
+            tasks_retried=rec.tasks_retried,
+            tasks_unrecovered=rec.tasks_unrecovered,
+            work_lost_ns=rec.work_lost_ns,
+        )
+
+    def collect(self) -> MachineReport:
+        """Build the multi-tenant roll-up from everything run so far."""
+        engine = self.engine
+        outcomes = []
+        for job in self.handles:
+            outcomes.append(
+                JobOutcome(
+                    job_id=job.job_id,
+                    policy=job.policy.name,
+                    priority=job.priority,
+                    submitted_at=job.submitted_at,
+                    started_at=job.started_at,
+                    finished_at=job.finished_at,
+                    report=(
+                        job.report
+                        if job.report is not None
+                        else self._job_report(job)
+                    ),
+                )
+            )
+        finished = [j.finished_at for j in self.handles if j.finished_at is not None]
+        submitted = [j.submitted_at for j in self.handles]
+        makespan = (max(finished) - min(submitted)) if finished else 0.0
+        sup = engine.supervisor
+        return MachineReport(
+            makespan_ns=makespan,
+            jobs=outcomes,
+            energy_pj=engine.node.ledger.total_pj(),
+            reconfigurations=sum(
+                w.reconfig.reconfigurations for w in engine.node.workers
+            ),
+            status_messages=engine.tracker.status_messages,
+            worker_failures=len(sup.failures) if sup is not None else 0,
+            mean_detection_ns=sup.mean_detection_ns() if sup is not None else 0.0,
+            mean_recovery_ns=sup.mean_recovery_ns() if sup is not None else 0.0,
+        )
+
+    def run(self) -> MachineReport:
+        """Run the simulation until every submitted job completes, then
+        return the :class:`MachineReport` roll-up."""
+        self.sim.run()
+        return self.collect()

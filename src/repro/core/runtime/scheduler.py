@@ -3,30 +3,32 @@
 "We will implement one scheduler per worker, which will manage the local
 reconfigurable blocks and the execution of the accelerated functions."
 
-Each :class:`WorkerScheduler` drains its local work queue.  For every
-task it makes the SW/HW decision (Fig. 5's Execution Engine box):
+Each :class:`WorkerScheduler` drains its local work queue.  It is pure
+*mechanism*: every popped item carries a job id, and the SW/HW decision
+for it is delegated to that job's
+:class:`~repro.core.runtime.policy.SchedulingPolicy` (looked up through
+the shared :class:`~repro.core.runtime.jobs.JobRegistry`).  The
+scheduler object itself is the decision context -- it carries the node,
+the Worker, the UNILOGIC domain, the registry, the Execution History and
+the trained selector that policies read.
 
-1. if the trained :class:`~repro.core.runtime.models.DeviceSelector` has
-   confident models for both devices, follow its choice;
-2. otherwise compare analytic estimates: the software cost model vs. the
-   best loaded module's latency (plus remote-invocation penalty);
-3. a hardware choice is only honoured when some region in the UNILOGIC
-   domain actually hosts the function -- loading new modules is the
-   reconfiguration daemon's job, not the scheduler's.
-
-Every completed call is appended to the Execution History.
+Every completed call is appended to the Execution History (tagged with
+its job) and accounted against its tenant's :class:`~repro.core.runtime.
+jobs.JobRecord`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Generator, Optional
+from dataclasses import dataclass
+from typing import Generator, List, Optional
 
 from repro.apps.taskgraph import Task
 from repro.core.compute_node import ComputeNode
 from repro.core.runtime.history import ExecutionHistory
+from repro.core.runtime.jobs import JobRegistry
 from repro.core.runtime.lazy import LocalWorkQueue
 from repro.core.runtime.models import DeviceSelector
+from repro.core.runtime.policy import GreedyHardwarePolicy
 from repro.core.unilogic import AcceleratorLost, UnilogicDomain
 from repro.core.worker import FunctionRegistry
 from repro.interconnect.message import TransactionType
@@ -37,13 +39,17 @@ from repro.sim import Signal
 class WorkItem:
     """A task plus its completion signal (the engine joins on it).
 
-    The fault-tolerance fields (attempts, redispatched, failed) stay at
-    their defaults on every healthy run; ``done`` fires exactly once even
-    when a retry races the original execution (first completion wins).
+    ``job_id`` tags which tenant the task belongs to (0 = the implicit
+    legacy/default job) -- it sticks across supervisor retries, so
+    recovery preserves job isolation.  The fault-tolerance fields
+    (attempts, redispatched, failed) stay at their defaults on every
+    healthy run; ``done`` fires exactly once even when a retry races the
+    original execution (first completion wins).
     """
 
     task: Task
     done: Signal
+    job_id: int = 0
     device_used: Optional[str] = None
     latency_ns: float = 0.0
     submitted_at: float = 0.0
@@ -72,6 +78,7 @@ class WorkerScheduler:
         allow_hardware: bool = True,
         tracer=None,
         telemetry=None,
+        jobs: Optional[JobRegistry] = None,
     ) -> None:
         self.node = node
         self.worker_id = worker_id
@@ -87,13 +94,15 @@ class WorkerScheduler:
         if tracer is None and telemetry is not None and telemetry.enabled:
             tracer = telemetry.tracer
         self.tracer = tracer
+        # standalone schedulers (tests) get a single-tenant registry
+        self.jobs = jobs if jobs is not None else JobRegistry(GreedyHardwarePolicy())
         self.tasks_done = 0
         self.hw_chosen = 0
         self.sw_chosen = 0
         self.hw_fallbacks = 0   # accelerator died mid-call, re-ran in SW
         # fault-tolerance state (inert unless the engine arms a supervisor)
         self.crashed = False
-        self.stranded: list = []        # items lost to a crash, awaiting retry
+        self.stranded: List[WorkItem] = []  # items lost to a crash, awaiting retry
         self.current_item: Optional[WorkItem] = None
         self.supervisor = None          # set by the engine when FT is enabled
 
@@ -110,22 +119,24 @@ class WorkerScheduler:
         """Clear the crash flag (the engine respawns the loop if needed)."""
         self.crashed = False
 
-    def submit(self, task: Task) -> WorkItem:
+    def submit(self, task: Task, job_id: int = 0) -> WorkItem:
         item = WorkItem(
             task=task,
             done=Signal(self.node.sim),
+            job_id=job_id,
             submitted_at=self.node.sim.now,
         )
         self.queue.push(item)  # type: ignore[arg-type]
         return item
 
     def resubmit(self, item: WorkItem) -> WorkItem:
-        """Queue an existing item again (retry path: same ``done`` signal)."""
+        """Queue an existing item again (retry path: same ``done`` signal,
+        same ``job_id`` -- a retry never changes tenants)."""
         item.submitted_at = self.node.sim.now
         self.queue.push(item)  # type: ignore[arg-type]
         return item
 
-    def drain_pending(self) -> list:
+    def drain_pending(self) -> list[WorkItem]:
         """Reclaim queued-but-unstarted items plus anything stranded by a
         crash (called by the supervisor once the failure is detected)."""
         drained = self.queue.store.drain()
@@ -139,36 +150,16 @@ class WorkerScheduler:
         return items
 
     # ------------------------------------------------------------------
-    def _decide_device(self, task: Task) -> str:
-        function = task.function
-        hw_hosted = (
-            self.allow_hardware
-            and self.unilogic.nearest_region(function, task.data_worker) is not None
-        )
-        if not hw_hosted:
-            return "sw"
-        if self.selector is not None:
-            choice = self.selector.choose_device(
-                function, task.items, self.energy_weight
-            )
-            if choice is not None:
-                return choice
-        # analytic fallback
-        kernel = self.registry.kernel(function)
-        sw_ns = self.worker.software_latency_ns(kernel, task.items)
-        host_worker, region = self.unilogic.nearest_region(function, task.data_worker)
-        hw_ns = region.module.latency_ns(task.items)
-        if host_worker != task.data_worker:
-            # remote ACE-lite penalty: data crosses the NoC uncached
-            bytes_total = task.input_bytes + task.output_bytes
-            hops = self.node.hop_distance(task.data_worker, host_worker)
-            hw_ns += hops * 10.0 + bytes_total / 4.0  # rough NoC serialization
-        return "hw" if hw_ns < sw_ns else "sw"
+    def _decide_device(self, task: Task, job_id: int = 0) -> str:
+        """SW vs. HW for one task, per its job's policy (the historical
+        entry point; the constants formerly inlined here live in
+        :class:`~repro.core.runtime.policy.PolicyConfig` now)."""
+        return self.jobs.policy(job_id).decide_device(self, task)
 
     def _execute(self, item: WorkItem) -> Generator:
         task = item.task
         kernel = self.registry.kernel(task.function)
-        device = self._decide_device(task)
+        device = self._decide_device(task, item.job_id)
         if self.telemetry is not None:
             self.telemetry.event(
                 "scheduler.decision",
@@ -178,6 +169,7 @@ class WorkerScheduler:
                 device=device,
                 items=task.items,
                 queue_depth=self.queue.depth,
+                job=item.job_id,
             )
         start = self.node.sim.now
         if device == "hw":
@@ -190,6 +182,7 @@ class WorkerScheduler:
                     items=task.items,
                     data_worker=task.data_worker,
                     bytes_per_item=bpi,
+                    job=item.job_id,
                 )
                 host_worker, region = self.unilogic.nearest_region(
                     task.function, task.data_worker
@@ -209,6 +202,7 @@ class WorkerScheduler:
                         self.worker.name,
                         task=task.task_id,
                         function=task.function,
+                        job=item.job_id,
                     )
         if device == "sw":
             self.sw_chosen += 1
@@ -234,7 +228,11 @@ class WorkerScheduler:
             latency_ns=latency,
             energy_pj=energy,
             timestamp=self.node.sim.now,
+            job=item.job_id,
         )
+        # tenant-side accounting (job 0 = the implicit legacy job)
+        self.jobs.record(item.job_id).note_done(device, energy)
+        self.worker.note_job_call(item.job_id)
 
     # ------------------------------------------------------------------
     def _strand(self, item: WorkItem) -> None:
@@ -280,6 +278,7 @@ class WorkerScheduler:
                 # the crash hit mid-task: the result is lost with the Worker
                 if self.supervisor is not None:
                     self.supervisor.work_lost_ns += item.latency_ns
+                self.jobs.record(item.job_id).work_lost_ns += item.latency_ns
                 self._strand(item)
                 return None
             self.queue.mark_done()

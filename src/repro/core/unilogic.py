@@ -44,6 +44,7 @@ class AcceleratorAccess:
     data_bytes: int
     remote_control: bool
     remote_data: bool
+    job: int = 0        # owning tenant (0 = the implicit legacy job)
 
 
 class AcceleratorLost(RuntimeError):
@@ -105,6 +106,7 @@ class UnilogicDomain:
         data_worker: Optional[int] = None,
         bytes_per_item: int = 8,
         reuse_turns: float = 0.0,
+        job: int = 0,
     ) -> Generator:
         """Simulation process: one shared-accelerator call.
 
@@ -184,6 +186,7 @@ class UnilogicDomain:
             data_bytes=data_bytes,
             remote_control=remote_control,
             remote_data=remote_data,
+            job=job,
         )
         self.invocations.append(access)
         return access
@@ -193,4 +196,12 @@ class UnilogicDomain:
         counts: dict = {w.worker_id: 0 for w in self.node.workers}
         for inv in self.invocations:
             counts[inv.host_worker] += 1
+        return counts
+
+    def utilization_by_job(self) -> dict:
+        """Accelerator calls per tenant: how the shared fabric's regions
+        were arbitrated across concurrent jobs."""
+        counts: dict = {}
+        for inv in self.invocations:
+            counts[inv.job] = counts.get(inv.job, 0) + 1
         return counts

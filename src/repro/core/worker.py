@@ -117,6 +117,12 @@ class Worker:
 
         self.sw_calls = 0
         self.hw_calls = 0
+        # calls served per tenant job (multi-tenant runtime accounting)
+        self.calls_by_job: Dict[int, int] = {}
+
+    def note_job_call(self, job_id: int) -> None:
+        """One runtime call served on this Worker for tenant ``job_id``."""
+        self.calls_by_job[job_id] = self.calls_by_job.get(job_id, 0) + 1
 
     # ------------------------------------------------------------------
     # software execution path

@@ -9,7 +9,7 @@ device nearest its data, choosing CPU vs. FPGA by estimated cost.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,9 @@ from repro.opencl.platform import Device, DeviceType
 from repro.opencl.program import KernelHandle
 from repro.opencl.types import CommandType, DataScope
 from repro.sim import AllOf, Signal, Timeout, spawn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime.policy import SchedulingPolicy
 
 #: host bridge cost for read/write (PCIe/DMA-engine class)
 _HOST_BW_GBPS = 8.0
@@ -268,14 +271,21 @@ class DistributedCommandQueue:
     """One logical queue across all Workers of the node (Section 4.4).
 
     ND-ranges are routed to the Worker that *homes* the kernel's first
-    buffer (data locality first), then to CPU vs. FPGA by an analytic
-    cost compare; per-Worker in-order queues run concurrently with each
-    other, giving transparent cross-worker queue management.
+    buffer (data locality first), then to CPU vs. FPGA by the routing
+    policy (a :class:`~repro.core.runtime.policy.SchedulingPolicy`;
+    default greedy cost compare); per-Worker in-order queues run
+    concurrently with each other, giving transparent cross-worker queue
+    management.
     """
 
-    def __init__(self, context: Context) -> None:
+    def __init__(
+        self, context: Context, policy: Optional["SchedulingPolicy"] = None
+    ) -> None:
+        from repro.core.runtime.policy import GreedyHardwarePolicy
+
         self.context = context
         self.node = context.platform.node
+        self.policy = policy if policy is not None else GreedyHardwarePolicy()
         self._queues: dict = {}
         for device in context.devices:
             self._queues[(device.worker_id, device.device_type)] = CommandQueue(
@@ -294,27 +304,9 @@ class DistributedCommandQueue:
     def _route(self, kernel: KernelHandle, global_size: int) -> CommandQueue:
         buffers = _buffer_args(kernel)
         target_worker = buffers[0].home_worker if buffers else 0
-        program = kernel.program
-        function = kernel.function
         worker = self.node.worker(target_worker)
 
-        use_fpga = False
-        if program.is_accelerated(function):
-            # only consider variants that actually fit this worker's regions
-            capacity = max(
-                (r.capacity for r in worker.fabric.regions),
-                key=lambda c: c.area_units(),
-            )
-            module = program.library.best_variant(
-                function, capacity=capacity, items_hint=global_size
-            )
-            if module is not None:
-                hw_ns = module.latency_ns(global_size)
-                if worker.hosted_region(function) is None:
-                    hw_ns += worker.reconfig.load_cost_ns(module)
-                sw_ns = worker.software_latency_ns(kernel.kernel_ir, global_size)
-                use_fpga = hw_ns < sw_ns
-        if use_fpga:
+        if self.policy.route_ndrange(worker, kernel, global_size):
             self.routed_to_fpga += 1
             return self.queue_for(target_worker, DeviceType.FPGA)
         self.routed_to_cpu += 1

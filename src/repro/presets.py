@@ -8,6 +8,7 @@ imply (Zynq-class Workers) and the scaling study uses.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.compute_node import ComputeNodeParams
@@ -107,6 +108,72 @@ def node_preset(name: str) -> ComputeNodeParams:
         known = ", ".join(sorted(NODE_PRESETS))
         raise KeyError(f"unknown preset {name!r}; choose from: {known}")
     return NODE_PRESETS[name]()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant job of a multi-job scenario."""
+
+    policy: str                 # repro.core.runtime.POLICIES key
+    priority: int = 1
+    layers: int = 4
+    width: int = 8
+    graph_seed: int = 1
+    dataflow: bool = False
+
+    def __post_init__(self) -> None:
+        if self.priority < 1:
+            raise ValueError("priority must be >= 1")
+        if self.layers < 1 or self.width < 1:
+            raise ValueError("graph dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class JobMix:
+    """A named multi-tenant scenario: machine preset + job stream."""
+
+    node: str                   # NODE_PRESETS key
+    jobs: Tuple[JobSpec, ...]
+
+
+#: Named multi-job scenarios ``python -m repro jobs <preset>`` accepts.
+#: Every mix runs >= 3 concurrent jobs with distinct policies; ``mini``
+#: is the CI smoke configuration.
+JOB_PRESETS = {
+    "mini": JobMix(
+        node="mini",
+        jobs=(
+            JobSpec("greedy-hw", priority=2, layers=3, width=6, graph_seed=1),
+            JobSpec("energy", priority=1, layers=3, width=6, graph_seed=2),
+            JobSpec("locality", priority=1, layers=3, width=6, graph_seed=3),
+        ),
+    ),
+    "board": JobMix(
+        node="board",
+        jobs=(
+            JobSpec("greedy-hw", priority=2, graph_seed=1),
+            JobSpec("energy", priority=1, graph_seed=2),
+            JobSpec("locality", priority=1, graph_seed=3, dataflow=True),
+        ),
+    ),
+    "chassis": JobMix(
+        node="chassis",
+        jobs=(
+            JobSpec("greedy-hw", priority=4, layers=6, width=16, graph_seed=1),
+            JobSpec("greedy-hw", priority=1, layers=6, width=16, graph_seed=2),
+            JobSpec("energy", priority=2, layers=4, width=12, graph_seed=3),
+            JobSpec("locality", priority=1, layers=4, width=12, graph_seed=4),
+        ),
+    ),
+}
+
+
+def job_preset(name: str) -> JobMix:
+    """Resolve one :data:`JOB_PRESETS` entry by name."""
+    if name not in JOB_PRESETS:
+        known = ", ".join(sorted(JOB_PRESETS))
+        raise KeyError(f"unknown job preset {name!r}; choose from: {known}")
+    return JOB_PRESETS[name]
 
 
 def standard_kernel_suite() -> List:

@@ -190,5 +190,27 @@ def attach_engine(hub: Telemetry, engine: Any, prefix: str = "runtime") -> None:
         h.counter(f"{prefix}.hw_chosen").set(
             float(sum(s.hw_chosen for s in engine.schedulers))
         )
+        # per-tenant dimensions (job 0 = the implicit legacy job; only
+        # tenants with activity are mirrored, so single-job runs add
+        # nothing to the registry)
+        jobs = getattr(engine, "jobs", None)
+        if jobs is not None:
+            active = 0
+            for rec in jobs:
+                if rec.tasks_done == 0 and rec.tasks_retried == 0:
+                    continue
+                active += 1
+                jp = f"{prefix}.job.{rec.job_id}"
+                h.counter(f"{jp}.tasks_done").set(float(rec.tasks_done))
+                h.counter(f"{jp}.sw_calls").set(float(rec.sw_calls))
+                h.counter(f"{jp}.hw_calls").set(float(rec.hw_calls))
+                h.counter(f"{jp}.energy_pj").set(rec.energy_pj)
+                h.counter(f"{jp}.tasks_retried").set(float(rec.tasks_retried))
+                h.counter(f"{jp}.tasks_unrecovered").set(
+                    float(rec.tasks_unrecovered)
+                )
+                h.gauge(f"{jp}.placement_locality").set(rec.locality_fraction())
+            if active > 1:
+                h.gauge(f"{prefix}.jobs.active").set(float(active))
 
     hub.register_collector(collect, name=prefix)

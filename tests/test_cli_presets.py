@@ -146,3 +146,35 @@ class TestTelemetryCommands:
         for line in lines[1:]:
             name, value = line.split(",")
             float(value)
+
+
+class TestJobsCommand:
+    def test_cli_job_preset_choices_match_registry(self):
+        """The hardcoded argparse choices must track JOB_PRESETS."""
+        from repro.cli import build_parser
+        from repro.presets import JOB_PRESETS
+
+        parser = build_parser()
+        args = parser.parse_args(["jobs", "mini"])
+        assert args.preset == "mini"
+        sub = next(
+            a for a in parser._subparsers._group_actions[0].choices["jobs"]._actions
+            if a.dest == "preset"
+        )
+        assert sorted(sub.choices) == sorted(JOB_PRESETS)
+
+    def test_jobs_rejects_unknown_preset_before_running(self):
+        with pytest.raises(SystemExit):
+            main(["jobs", "no-such-mix"])
+
+    def test_jobs_writes_valid_machine_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "jobs.json"
+        assert main(["jobs", "mini", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert len(report["jobs"]) == 3
+        assert report["tasks"] == sum(j["tasks"] for j in report["jobs"])
+        assert report["tasks_unrecovered"] == 0
+        text = capsys.readouterr().out
+        assert "fairness" in text and "greedy-hw" in text
