@@ -10,7 +10,9 @@ Commands:
 - ``metrics``     run a preset with telemetry, dump the metrics snapshot,
 - ``experiment``  run one DESIGN.md experiment's bench and print its tables,
 - ``chaos``       inject faults into a run and verify the runtime self-heals,
-- ``jobs``        run a multi-tenant job mix and report per-job outcomes.
+- ``jobs``        run a multi-tenant job mix and report per-job outcomes,
+- ``serve``       open-loop request serving with admission control, dynamic
+                  batching and SLO-driven elastic reconfiguration.
 """
 
 from __future__ import annotations
@@ -38,6 +40,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.energy", "energy accounting + exascale extrapolation"),
         ("repro.core", "Workers, Compute Nodes, UNILOGIC, runtime, middleware"),
         ("repro.chaos", "machine-wide fault injection and chaos experiments"),
+        ("repro.telemetry", "metrics registry, tracer, structured events"),
+        ("repro.serving", "traffic generation, admission, batching, autoscaling"),
     ]
     print("\npackages:")
     for name, desc in packages:
@@ -327,6 +331,39 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import run_serving_experiment
+
+    print(
+        f"compiling the kernel suite, serving preset {args.preset!r} "
+        f"(seed {args.seed})...",
+        file=sys.stderr,
+    )
+    report = run_serving_experiment(args.preset, seed=args.seed)
+    _write_or_print(report.json(indent=2), args.out)
+    print(f"  horizon          : {report.horizon_ns / 1e6:.3f} ms simulated")
+    print(f"  requests         : {report.offered} offered, "
+          f"{report.admitted} admitted, {report.shed} shed "
+          f"({report.shed_rate:.1%}), {report.completed} completed")
+    print(f"  batching         : {report.batches} batches, "
+          f"mean size {report.mean_batch_size:.2f} "
+          f"({report.flushes_full} full / {report.flushes_timeout} timeout)")
+    a = report.autoscaler
+    print(f"  autoscaler       : {a['regions_configured']} regions configured "
+          f"({a['loads']} loads, {a['replicas']} replicas, "
+          f"{a['evictions']} evictions) over {a['evaluations']} periods")
+    print("  tenant        p50          p95          p99        goodput   shed")
+    for name, t in sorted(report.tenants.items()):
+        lat = t["latency_ns"]
+        print(f"  {name:<12s} {lat['p50'] / 1e3:>8.1f} us  "
+              f"{lat['p95'] / 1e3:>8.1f} us  {lat['p99'] / 1e3:>8.1f} us  "
+              f"{t['goodput_rps']:>9.0f} rps  {t['shed_rate']:.1%}")
+    if report.unrecovered:
+        print(f"  WARNING: {report.unrecovered} admitted requests never completed")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -405,6 +442,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write the canonical MachineReport JSON here")
     p.set_defaults(fn=_cmd_jobs)
+
+    p = sub.add_parser(
+        "serve",
+        help="open-loop serving: traffic -> admission -> batching -> SLOs",
+    )
+    # keep in sync with repro.presets.SERVING_PRESETS (not imported here:
+    # parser construction must stay light for every subcommand)
+    p.add_argument("--preset", default="steady",
+                   choices=("diurnal", "flash-crowd", "steady"),
+                   help="serving scenario to run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the arrival processes")
+    p.add_argument("--out", default=None,
+                   help="write the canonical ServingReport JSON here")
+    p.set_defaults(fn=_cmd_serve)
 
     return parser
 

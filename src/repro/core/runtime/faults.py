@@ -324,13 +324,19 @@ class TaskSupervisor:
     # metrics
     # ------------------------------------------------------------------
     def mean_detection_ns(self) -> float:
-        done = [f.detection_ns for f in self.failures if f.detection_ns is not None]
-        return sum(done) / len(done) if done else 0.0
+        from repro.telemetry.quantiles import mean
+
+        return mean(
+            [f.detection_ns for f in self.failures if f.detection_ns is not None]
+        )
 
     def mean_recovery_ns(self) -> float:
-        done = [
-            f.time_to_recover_ns
-            for f in self.failures
-            if f.time_to_recover_ns is not None
-        ]
-        return sum(done) / len(done) if done else 0.0
+        from repro.telemetry.quantiles import mean
+
+        return mean(
+            [
+                f.time_to_recover_ns
+                for f in self.failures
+                if f.time_to_recover_ns is not None
+            ]
+        )

@@ -14,6 +14,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.telemetry.quantiles import latency_summary, mean
+
 
 @dataclass(frozen=True)
 class ExecutionRecord:
@@ -93,7 +95,7 @@ class ExecutionHistory:
         recs = self.records(function, device)
         if not recs:
             return None
-        return sum(r.latency_ns for r in recs) / len(recs)
+        return mean([r.latency_ns for r in recs])
 
     def mean_energy(
         self, function: str, device: Optional[str] = None
@@ -101,7 +103,18 @@ class ExecutionHistory:
         recs = self.records(function, device)
         if not recs:
             return None
-        return sum(r.energy_pj for r in recs) / len(recs)
+        return mean([r.energy_pj for r in recs])
+
+    def latency_summary(
+        self, function: Optional[str] = None, device: Optional[str] = None
+    ) -> Dict[str, float]:
+        """p50/p95/p99 latency block over matching records (shared math)."""
+        recs = self._records
+        if function is not None:
+            recs = [r for r in recs if r.function == function]
+        if device is not None:
+            recs = [r for r in recs if r.device == device]
+        return latency_summary([r.latency_ns for r in recs])
 
     def call_counts_by_job(self, since: Optional[float] = None) -> Dict[int, int]:
         """Calls per tenant -- the per-job utilization view."""

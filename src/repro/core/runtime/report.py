@@ -14,6 +14,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.telemetry.quantiles import latency_summary
+
 
 @dataclass
 class RunReport:
@@ -154,6 +156,12 @@ class MachineReport:
             return 1.0
         return (sum(rates) ** 2) / (len(rates) * sum(r * r for r in rates))
 
+    def job_latency_summary(self) -> Dict[str, float]:
+        """p50/p95/p99 of per-job submit-to-finish latency (shared math)."""
+        return latency_summary(
+            [j.latency_ns for j in self.jobs if j.finished_at is not None]
+        )
+
     def job(self, job_id: int) -> JobOutcome:
         for outcome in self.jobs:
             if outcome.job_id == job_id:
@@ -173,6 +181,7 @@ class MachineReport:
             "tasks_retried": self.tasks_retried,
             "tasks_unrecovered": self.tasks_unrecovered,
             "fairness_index": self.fairness_index(),
+            "job_latency": self.job_latency_summary(),
             "jobs": [j.to_dict() for j in self.jobs],
         }
 

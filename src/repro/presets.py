@@ -176,6 +176,185 @@ def job_preset(name: str) -> JobMix:
     return JOB_PRESETS[name]
 
 
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic contract in a serving scenario.
+
+    ``rate_rps`` / ``admit_rate_rps`` are requests per second of
+    *simulated* time.  ``arrival`` picks the generator in
+    :mod:`repro.serving.arrivals` (poisson | bursty | diurnal | trace).
+    """
+
+    name: str
+    arrival: str = "poisson"
+    rate_rps: float = 100_000.0
+    requests: int = 100
+    functions: Tuple[str, ...] = ("saxpy",)
+    items_range: Tuple[int, int] = (512, 2048)
+    policy: str = "greedy-hw"
+    priority: int = 1
+    slo_ns: float = 500_000.0
+    admit_rate_rps: float = 300_000.0
+    admit_burst: float = 16.0
+    # bursty (MMPP) shape
+    burst_multiplier: float = 8.0
+    burst_fraction: float = 0.25
+    # diurnal ramp shape (multiples of rate_rps)
+    diurnal_low: float = 0.3
+    diurnal_high: float = 2.0
+    # trace replay (absolute offsets from stream start)
+    trace_offsets_ns: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("poisson", "bursty", "diurnal", "trace"):
+            raise ValueError(f"unknown arrival kind {self.arrival!r}")
+        if self.rate_rps <= 0 or self.admit_rate_rps <= 0:
+            raise ValueError("rates must be positive")
+        if self.requests < 1 and self.arrival != "trace":
+            raise ValueError("a tenant needs at least one request")
+        if not self.functions:
+            raise ValueError("a tenant needs at least one function")
+        if self.priority < 1:
+            raise ValueError("priority must be >= 1")
+        if self.slo_ns <= 0:
+            raise ValueError("slo_ns must be positive")
+        lo, hi = self.items_range
+        if lo < 1 or hi < lo:
+            raise ValueError("items_range must be (lo, hi) with 1 <= lo <= hi")
+
+
+@dataclass(frozen=True)
+class ServingScenario:
+    """A named open-loop serving scenario: machine + tenants + knobs."""
+
+    node: str                            # NODE_PRESETS key
+    tenants: Tuple[TenantSpec, ...]
+    max_batch: int = 8
+    max_wait_ns: float = 20_000.0
+    max_backlog: int = 48
+    autoscaler_period_ns: float = 100_000.0
+    scale_up_hotness: float = 6.0
+    max_replicas: int = 2
+    cooldown_periods: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("a scenario needs at least one tenant")
+        if len({t.name for t in self.tenants}) != len(self.tenants):
+            raise ValueError("tenant names must be unique")
+
+
+#: Named serving scenarios ``python -m repro serve <preset>`` accepts.
+#: ``steady`` is the CI serve-smoke configuration; ``flash-crowd`` is the
+#: acceptance scenario (bursty interactive tenant over a steady batch
+#: tenant); ``diurnal`` ramps demand across a compressed day and replays
+#: a fixed trace alongside.
+SERVING_PRESETS = {
+    "steady": ServingScenario(
+        node="mini",
+        tenants=(
+            TenantSpec(
+                name="interactive",
+                arrival="poisson",
+                rate_rps=150_000.0,
+                requests=150,
+                functions=("saxpy", "fir32"),
+                items_range=(512, 2048),
+                policy="greedy-hw",
+                priority=2,
+                slo_ns=400_000.0,
+                admit_rate_rps=450_000.0,
+            ),
+            TenantSpec(
+                name="batch",
+                arrival="poisson",
+                rate_rps=80_000.0,
+                requests=100,
+                functions=("stencil5",),
+                items_range=(1024, 4096),
+                policy="energy",
+                priority=1,
+                slo_ns=2_000_000.0,
+                admit_rate_rps=240_000.0,
+            ),
+        ),
+    ),
+    "flash-crowd": ServingScenario(
+        node="board",
+        tenants=(
+            TenantSpec(
+                name="interactive",
+                arrival="bursty",
+                rate_rps=120_000.0,
+                requests=260,
+                functions=("saxpy", "fir32"),
+                items_range=(512, 2048),
+                policy="greedy-hw",
+                priority=2,
+                slo_ns=300_000.0,
+                admit_rate_rps=360_000.0,
+                admit_burst=24.0,
+                burst_multiplier=10.0,
+                burst_fraction=0.25,
+            ),
+            TenantSpec(
+                name="analytics",
+                arrival="poisson",
+                rate_rps=60_000.0,
+                requests=120,
+                functions=("matmul", "stencil5"),
+                items_range=(1024, 4096),
+                policy="energy",
+                priority=1,
+                slo_ns=2_500_000.0,
+                admit_rate_rps=180_000.0,
+            ),
+        ),
+        max_backlog=40,
+        scale_up_hotness=5.0,
+    ),
+    "diurnal": ServingScenario(
+        node="mini",
+        tenants=(
+            TenantSpec(
+                name="daytime",
+                arrival="diurnal",
+                rate_rps=100_000.0,
+                requests=200,
+                functions=("saxpy", "montecarlo"),
+                items_range=(512, 2048),
+                policy="greedy-hw",
+                priority=2,
+                slo_ns=600_000.0,
+                admit_rate_rps=400_000.0,
+                diurnal_low=0.3,
+                diurnal_high=2.5,
+            ),
+            TenantSpec(
+                name="cron",
+                arrival="trace",
+                requests=80,
+                functions=("stencil5",),
+                items_range=(1024, 2048),
+                policy="energy",
+                priority=1,
+                slo_ns=3_000_000.0,
+                admit_rate_rps=200_000.0,
+                trace_offsets_ns=tuple(float(i) * 25_000.0 for i in range(80)),
+            ),
+        ),
+    ),
+}
+
+
+def serving_preset(name: str) -> ServingScenario:
+    """Resolve one :data:`SERVING_PRESETS` entry by name."""
+    if name not in SERVING_PRESETS:
+        known = ", ".join(sorted(SERVING_PRESETS))
+        raise KeyError(f"unknown serving preset {name!r}; choose from: {known}")
+    return SERVING_PRESETS[name]
+
+
 def standard_kernel_suite() -> List:
     """Every characterized kernel at its default size."""
     return [

@@ -1,0 +1,56 @@
+"""The serving layer: open-loop traffic onto the reconfigurable machine.
+
+The ROADMAP's north star is a machine that "serves heavy traffic from
+millions of users"; this package is that demand side.  Seed-
+deterministic arrival processes emit typed kernel requests, an admission
+controller sheds what the machine cannot absorb, a dynamic batcher
+coalesces compatible requests into NDRange jobs, an SLO tracker keeps
+per-tenant p50/p95/p99 / goodput / shed-rate state, and an autoscaler
+closes the paper's Fig. 5 loop -- execution history plus SLO pressure
+driving which accelerators occupy the fabric, period by period.
+
+Entry points: :class:`ServingGateway` for hand-wired setups,
+:func:`run_serving_experiment` + the ``SERVING_PRESETS`` in
+:mod:`repro.presets` for the CLI / CI / test path
+(``python -m repro serve --preset flash-crowd --seed 7``).
+"""
+
+from repro.serving.admission import (
+    OK,
+    QUEUE_FULL,
+    RATE_LIMIT,
+    AdmissionController,
+    AdmissionVerdict,
+    TokenBucket,
+)
+from repro.serving.arrivals import ARRIVAL_KINDS, arrival_process
+from repro.serving.autoscaler import Autoscaler, AutoscalerStats
+from repro.serving.batcher import DynamicBatcher
+from repro.serving.gateway import (
+    ServingGateway,
+    ServingReport,
+    run_serving_experiment,
+)
+from repro.serving.requests import Request, shape_class
+from repro.serving.slo import SLOTracker, TenantSLO
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "AdmissionController",
+    "AdmissionVerdict",
+    "Autoscaler",
+    "AutoscalerStats",
+    "DynamicBatcher",
+    "OK",
+    "QUEUE_FULL",
+    "RATE_LIMIT",
+    "Request",
+    "SLOTracker",
+    "ServingGateway",
+    "ServingReport",
+    "TenantSLO",
+    "TokenBucket",
+    "arrival_process",
+    "run_serving_experiment",
+    "shape_class",
+]

@@ -1,0 +1,120 @@
+"""Seed-deterministic arrival processes (the demand side of Fig. 5).
+
+Each tenant's traffic is one simulation process that samples
+interarrival gaps from a per-tenant ``random.Random`` seeded as
+``f"{seed}:{tenant}:arrivals"`` (the chaos-layer idiom), so two runs
+with the same seed offer byte-identical request streams while different
+tenants stay decorrelated.
+
+Four generators, selected by ``TenantSpec.arrival``:
+
+- ``poisson`` -- memoryless arrivals at a fixed rate,
+- ``bursty`` -- a two-state MMPP: exponential sojourns alternate between
+  a base-rate phase and a burst phase at ``rate * burst_multiplier``
+  (the flash crowd),
+- ``diurnal`` -- a Poisson process whose rate ramps linearly from
+  ``diurnal_low`` to ``diurnal_high`` times the base rate across the
+  tenant's request budget (a compressed day),
+- ``trace`` -- replay of explicit offsets, for captured workloads.
+
+Rates are requests per second of *simulated* time; the simulator clock
+is in nanoseconds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Generator, Iterator
+
+from repro.serving.requests import Request
+from repro.sim import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.presets import TenantSpec
+
+ARRIVAL_KINDS = ("poisson", "bursty", "diurnal", "trace")
+
+_NS_PER_S = 1e9
+
+
+def _gaps_poisson(rng: random.Random, spec: "TenantSpec") -> Iterator[float]:
+    for _ in range(spec.requests):
+        yield rng.expovariate(spec.rate_rps) * _NS_PER_S
+
+
+def _gaps_bursty(rng: random.Random, spec: "TenantSpec") -> Iterator[float]:
+    """Two-state MMPP: base phase / burst phase with exponential sojourns."""
+    burst_rate = spec.rate_rps * spec.burst_multiplier
+    # sojourn means chosen so the long-run burst-time fraction matches
+    # spec.burst_fraction over one base+burst cycle
+    cycle_ns = spec.requests / spec.rate_rps * _NS_PER_S / 4.0
+    mean_burst_ns = cycle_ns * spec.burst_fraction
+    mean_base_ns = cycle_ns * (1.0 - spec.burst_fraction)
+    now = 0.0
+    in_burst = False
+    phase_end = rng.expovariate(1.0 / mean_base_ns)
+    for _ in range(spec.requests):
+        while now >= phase_end:
+            in_burst = not in_burst
+            mean = mean_burst_ns if in_burst else mean_base_ns
+            phase_end += rng.expovariate(1.0 / mean)
+        rate = burst_rate if in_burst else spec.rate_rps
+        gap = rng.expovariate(rate) * _NS_PER_S
+        now += gap
+        yield gap
+
+
+def _gaps_diurnal(rng: random.Random, spec: "TenantSpec") -> Iterator[float]:
+    span = max(1, spec.requests - 1)
+    for i in range(spec.requests):
+        frac = i / span
+        rate = spec.rate_rps * (
+            spec.diurnal_low + (spec.diurnal_high - spec.diurnal_low) * frac
+        )
+        yield rng.expovariate(rate) * _NS_PER_S
+
+
+def _gaps_trace(rng: random.Random, spec: "TenantSpec") -> Iterator[float]:
+    prev = 0.0
+    for offset in spec.trace_offsets_ns:
+        if offset < prev:
+            raise ValueError("trace offsets must be non-decreasing")
+        yield offset - prev
+        prev = offset
+
+
+_GAP_GENERATORS = {
+    "poisson": _gaps_poisson,
+    "bursty": _gaps_bursty,
+    "diurnal": _gaps_diurnal,
+    "trace": _gaps_trace,
+}
+
+
+def arrival_process(gateway, spec: "TenantSpec", seed: int) -> Generator:
+    """One tenant's traffic source (spawn as a simulation process).
+
+    Offers every request to ``gateway.offer`` and finally calls
+    ``gateway.arrivals_finished(tenant)`` so the gateway knows when the
+    open-loop demand has drained.
+    """
+    if spec.arrival not in _GAP_GENERATORS:
+        known = ", ".join(ARRIVAL_KINDS)
+        raise KeyError(f"unknown arrival kind {spec.arrival!r}; choose from: {known}")
+    rng = random.Random(f"{seed}:{spec.name}:arrivals")
+    sim = gateway.sim
+    for i, gap in enumerate(_GAP_GENERATORS[spec.arrival](rng, spec)):
+        if gap > 0:
+            yield Timeout(gap)
+        items = rng.randint(*spec.items_range)
+        function = spec.functions[rng.randrange(len(spec.functions))]
+        gateway.offer(
+            Request(
+                request_id=gateway.next_request_id(),
+                tenant=spec.name,
+                function=function,
+                items=items,
+                arrived_at=sim.now,
+            )
+        )
+    gateway.arrivals_finished(spec.name)

@@ -1,0 +1,415 @@
+"""The serving gateway: arrivals -> admission -> batching -> runtime.
+
+:class:`ServingGateway` wires the serving layer onto one
+:class:`~repro.core.runtime.engine.ExecutionEngine`:
+
+::
+
+    arrival processes (one sim process per tenant)
+            | offer(request)
+            v
+    AdmissionController -- token bucket + bounded backlog -> shed verdicts
+            | admitted
+            v
+    DynamicBatcher -- (tenant, function, shape-class) buckets,
+            |           max-batch / max-wait flush
+            v  dispatch_batch
+    JobManager.submit_job -- one single-task NDRange job per batch
+            |                (auto_stop off: the engine idles between
+            v                 batches instead of tearing down)
+    SLOTracker <- per-request completion latencies
+            ^
+    Autoscaler -- each period reads ExecutionHistory hotness + SLO state,
+                  loads/evicts/replicates accelerator modules
+
+Shutdown is demand-driven: when every tenant's arrival stream has
+drained, the batcher force-flushes, and the moment the last admitted
+request completes the gateway stops the autoscaler and the engine so the
+event queue can drain and ``sim.run()`` returns.
+
+:func:`run_serving_experiment` is the one-call harness the CLI, the CI
+smoke job and the tests share; its :class:`ServingReport` serializes to
+canonical sorted-key JSON for determinism diffing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.apps.taskgraph import Task, TaskGraph
+from repro.core.runtime.jobs import JobManager
+from repro.serving.admission import AdmissionController
+from repro.serving.arrivals import arrival_process
+from repro.serving.batcher import BatchKey, DynamicBatcher
+from repro.serving.requests import Request
+from repro.serving.slo import SLOTracker
+from repro.serving.autoscaler import Autoscaler
+from repro.sim import spawn
+
+
+@dataclass
+class ServingReport:
+    """Everything one serving run did, in canonical-JSON-able form."""
+
+    scenario: str
+    seed: int
+    horizon_ns: float
+    offered: int
+    admitted: int
+    shed: int
+    completed: int
+    unrecovered: int
+    batches: int
+    mean_batch_size: float
+    flushes_full: int
+    flushes_timeout: int
+    admission_verdicts: Dict[str, int]
+    tenants: Dict[str, Dict[str, Any]]
+    autoscaler: Dict[str, Any]
+    machine: Dict[str, Any]
+    chaos: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "horizon_ns": self.horizon_ns,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "completed": self.completed,
+            "unrecovered": self.unrecovered,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "flushes_full": self.flushes_full,
+            "flushes_timeout": self.flushes_timeout,
+            "admission_verdicts": dict(sorted(self.admission_verdicts.items())),
+            "tenants": self.tenants,
+            "autoscaler": self.autoscaler,
+            "machine": self.machine,
+            "chaos": self.chaos,
+        }
+
+    def json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON (CI determinism diffing)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+class ServingGateway:
+    """One machine's request front door (see module docstring)."""
+
+    def __init__(
+        self,
+        engine,
+        scenario,
+        seed: int = 0,
+        scenario_name: str = "custom",
+        telemetry=None,
+    ) -> None:
+        self.engine = engine
+        self.sim = engine.node.sim
+        self.scenario = scenario
+        self.seed = seed
+        self.scenario_name = scenario_name
+        self.telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
+        # auto_stop off: the engine must idle between batches, not tear
+        # down the moment the in-flight job count touches zero
+        self.manager = JobManager(engine, fair_share=False, auto_stop=False)
+        self.admission = AdmissionController(max_backlog=scenario.max_backlog)
+        self.slo = SLOTracker()
+        self.batcher = DynamicBatcher(
+            self, max_batch=scenario.max_batch, max_wait_ns=scenario.max_wait_ns
+        )
+        self.autoscaler = Autoscaler(
+            engine,
+            self.slo,
+            period_ns=scenario.autoscaler_period_ns,
+            scale_up_hotness=scenario.scale_up_hotness,
+            max_replicas=scenario.max_replicas,
+            cooldown_periods=scenario.cooldown_periods,
+            telemetry=telemetry,
+        )
+        self._specs = {t.name: t for t in scenario.tenants}
+        for t in scenario.tenants:
+            self.slo.configure_tenant(t.name, t.slo_ns)
+            self.admission.configure_tenant(
+                t.name, t.admit_rate_rps, t.admit_burst
+            )
+        self._request_ids = itertools.count()
+        self._rr_worker = itertools.count()
+        self._outstanding = 0
+        self._arrivals_open = len(scenario.tenants)
+        self._autoscaler_proc = None
+        self._started = False
+        self._drained = False
+        self._end_ns: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # arrival-side interface
+    # ------------------------------------------------------------------
+    def next_request_id(self) -> int:
+        return next(self._request_ids)
+
+    def offer(self, request: Request) -> None:
+        """One request from an arrival process: judge, shed or batch."""
+        self.slo.note_offered(request)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "serve.request",
+                f"{self.engine.node.name}.gateway",
+                tenant=request.tenant,
+                function=request.function,
+                items=request.items,
+            )
+        backlog = self.slo.tenant(request.tenant).outstanding
+        verdict = self.admission.admit(request, self.sim.now, backlog)
+        if not verdict.accepted:
+            request.shed_reason = verdict.reason
+            self.slo.note_shed(request, verdict.reason)
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "serve.shed",
+                    f"{self.engine.node.name}.gateway",
+                    tenant=request.tenant,
+                    reason=verdict.reason,
+                    backlog=verdict.backlog,
+                )
+            return
+        request.admitted = True
+        self.slo.note_admitted(request)
+        self._outstanding += 1
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "serve.admit",
+                f"{self.engine.node.name}.gateway",
+                tenant=request.tenant,
+                function=request.function,
+            )
+        self.batcher.add(request)
+
+    def arrivals_finished(self, tenant: str) -> None:
+        self._arrivals_open -= 1
+        if self._arrivals_open == 0:
+            self.batcher.flush_all()
+            self._maybe_drain()
+
+    # ------------------------------------------------------------------
+    # batcher-side interface
+    # ------------------------------------------------------------------
+    def dispatch_batch(self, key: BatchKey, batch: List[Request]) -> None:
+        """One coalesced batch becomes a single-task NDRange job."""
+        tenant, function, shape = key
+        spec = self._specs.get(tenant)
+        items = sum(r.items for r in batch)
+        worker = next(self._rr_worker) % len(self.engine.node.workers)
+        task = Task(
+            function=function,
+            items=items,
+            data_worker=worker,
+            affinity_worker=worker,
+            input_bytes=items * 4,
+            output_bytes=items * 4,
+        )
+        handle = self.manager.submit_job(
+            TaskGraph([task]),
+            policy=spec.policy if spec else None,
+            priority=spec.priority if spec else 1,
+        )
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "serve.batch",
+                f"{self.engine.node.name}.gateway",
+                tenant=tenant,
+                function=function,
+                shape_class=shape,
+                size=len(batch),
+                items=items,
+                job=handle.job_id,
+            )
+        spawn(
+            self.sim,
+            self._completion_waiter(handle, batch),
+            name=f"serve.batch{handle.job_id}",
+        )
+
+    def _completion_waiter(self, handle, batch: List[Request]) -> Generator:
+        yield handle.done
+        now = self.sim.now
+        for request in batch:
+            request.completed_at = now
+            self.slo.note_completed(request)
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "serve.complete",
+                    f"{self.engine.node.name}.gateway",
+                    tenant=request.tenant,
+                    function=request.function,
+                    latency_ns=request.latency_ns,
+                )
+        self._outstanding -= len(batch)
+        self._maybe_drain()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _maybe_drain(self) -> None:
+        if (
+            self._drained
+            or self._arrivals_open > 0
+            or self._outstanding > 0
+            or self.batcher.pending() > 0
+        ):
+            return
+        self._drained = True
+        self._end_ns = self.sim.now
+        self.autoscaler.stop()
+        if self._autoscaler_proc is not None and self._autoscaler_proc.alive:
+            self._autoscaler_proc.interrupt("serving drained")
+        self.engine.stop()
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "serve.drain",
+                f"{self.engine.node.name}.gateway",
+                horizon_ns=self._end_ns,
+            )
+
+    def start(self) -> None:
+        """Spawn the arrival streams and the autoscaler.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self.engine.start()
+        for spec in self.scenario.tenants:
+            spawn(
+                self.sim,
+                arrival_process(self, spec, self.seed),
+                name=f"serve.arrivals.{spec.name}",
+            )
+        self._autoscaler_proc = spawn(
+            self.sim, self.autoscaler.run(), name="serve.autoscaler"
+        )
+
+    def run(self) -> ServingReport:
+        """Serve the whole open-loop scenario, return the report."""
+        self.start()
+        self.sim.run()
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> ServingReport:
+        horizon = self._end_ns if self._end_ns is not None else self.sim.now
+        engine = self.engine
+        sup = engine.supervisor
+        offered = sum(t.offered for t in self.slo.tenants())
+        admitted = sum(t.admitted for t in self.slo.tenants())
+        completed = sum(t.completed for t in self.slo.tenants())
+        shed = sum(t.shed_total for t in self.slo.tenants())
+        a = self.autoscaler.stats
+        machine = {
+            "workers": len(engine.node.workers),
+            "tasks": self.batcher.batches_flushed,
+            "sw_calls": sum(s.sw_chosen for s in engine.schedulers),
+            "hw_calls": sum(s.hw_chosen for s in engine.schedulers),
+            "energy_pj": engine.node.ledger.total_pj(),
+            "reconfigurations": sum(
+                w.reconfig.reconfigurations for w in engine.node.workers
+            ),
+            "fabric_evictions": sum(
+                w.reconfig.evictions for w in engine.node.workers
+            ),
+            "worker_failures": len(sup.failures) if sup is not None else 0,
+            "tasks_retried": sum(rec.tasks_retried for rec in engine.jobs),
+            "tasks_unrecovered": sum(
+                rec.tasks_unrecovered for rec in engine.jobs
+            ),
+        }
+        return ServingReport(
+            scenario=self.scenario_name,
+            seed=self.seed,
+            horizon_ns=horizon,
+            offered=offered,
+            admitted=admitted,
+            shed=shed,
+            completed=completed,
+            unrecovered=admitted - completed,
+            batches=self.batcher.batches_flushed,
+            mean_batch_size=self.batcher.mean_batch_size,
+            flushes_full=self.batcher.flushes_full,
+            flushes_timeout=self.batcher.flushes_timeout,
+            admission_verdicts=dict(self.admission.verdicts),
+            tenants=self.slo.summary(horizon),
+            autoscaler={
+                "evaluations": a.evaluations,
+                "loads": a.loads,
+                "replicas": a.replicas,
+                "evictions": a.evictions,
+                "slo_triggers": a.slo_triggers,
+                "regions_configured": a.regions_configured,
+                "actions": list(a.actions),
+            },
+            machine=machine,
+        )
+
+
+def run_serving_experiment(
+    preset: str = "steady",
+    seed: int = 0,
+    telemetry=None,
+    fault_tolerance=None,
+    crash: Optional[Tuple[int, float, Optional[float]]] = None,
+    max_variants: int = 2,
+) -> ServingReport:
+    """Build a machine for ``preset`` and serve it end to end.
+
+    ``crash`` is an optional ``(worker_id, at_ns, downtime_ns)`` chaos
+    overlay (``downtime_ns=None`` makes the crash permanent); arm
+    ``fault_tolerance`` alongside it or admitted requests will be lost.
+    """
+    from repro.core import ComputeNode
+    from repro.core.runtime.engine import ExecutionEngine
+    from repro.presets import compiled_suite, node_preset, serving_preset
+    from repro.sim import Simulator
+
+    scenario = serving_preset(preset)
+    registry, library = compiled_suite(max_variants=max_variants)
+    sim = Simulator()
+    node = ComputeNode(sim, node_preset(scenario.node))
+    engine = ExecutionEngine(
+        node,
+        registry,
+        library,
+        use_daemon=False,        # the autoscaler owns the Fig. 5 loop here
+        telemetry=telemetry,
+        fault_tolerance=fault_tolerance,
+    )
+    gateway = ServingGateway(
+        engine, scenario, seed=seed, scenario_name=preset, telemetry=telemetry
+    )
+    chaos_block: Dict[str, Any] = {}
+    if crash is not None:
+        from repro.chaos import ChaosController
+
+        worker_id, at_ns, downtime_ns = crash
+        controller = ChaosController(sim, seed=seed, telemetry=telemetry)
+        controller.crash_worker(engine, worker_id, at_ns, downtime_ns=downtime_ns)
+        controller.arm()
+        chaos_block = {
+            "worker": worker_id,
+            "at_ns": at_ns,
+            "downtime_ns": downtime_ns,
+        }
+    report = gateway.run()
+    report.chaos = chaos_block
+    return report

@@ -1,0 +1,57 @@
+"""Typed kernel requests -- the unit of demand the serving layer moves.
+
+A :class:`Request` is one user-visible kernel invocation: a named
+function from the compiled suite applied to ``items`` work items for one
+tenant.  Requests are *not* tasks -- the dynamic batcher coalesces
+compatible requests (same tenant, function and shape class) into a
+single NDRange :class:`~repro.apps.taskgraph.Task` before anything
+reaches the runtime.
+
+The shape class is the power-of-two bucket of the item count: requests
+whose sizes round to the same bucket share enough of an execution
+profile to ride one accelerator invocation without the small ones
+waiting disproportionately on the big ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+def shape_class(items: int) -> int:
+    """The power-of-two size bucket ``items`` falls in (its batch key)."""
+    if items < 1:
+        raise ValueError(f"items must be >= 1, got {items}")
+    return 1 << (items - 1).bit_length()
+
+
+@dataclass
+class Request:
+    """One kernel invocation offered by a tenant's arrival process."""
+
+    request_id: int
+    tenant: str
+    function: str
+    items: int
+    arrived_at: float                    # sim time the request was offered
+    admitted: bool = False
+    shed_reason: Optional[str] = None    # "rate-limit" | "queue-full"
+    batched_at: Optional[float] = None
+    completed_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.items < 1:
+            raise ValueError(f"request needs at least one item, got {self.items}")
+
+    @property
+    def batch_key(self) -> Tuple[str, str, int]:
+        """Requests with equal keys may share one NDRange invocation."""
+        return (self.tenant, self.function, shape_class(self.items))
+
+    @property
+    def latency_ns(self) -> float:
+        """Offer-to-completion latency (0.0 while in flight)."""
+        if self.completed_at is None:
+            return 0.0
+        return self.completed_at - self.arrived_at

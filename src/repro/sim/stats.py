@@ -194,20 +194,14 @@ class Histogram:
 
     def percentile(self, p: float) -> float:
         """Approximate percentile from bin midpoints (p in [0, 100])."""
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        total = sum(self.counts) + self.underflow + self.overflow
-        if total == 0:
-            return 0.0
-        target = total * p / 100.0
-        running: float = self.underflow
-        if running >= target and self.underflow:
-            return self.edges[0]
-        for i, c in enumerate(self.counts):
-            running += c
-            if running >= target:
-                return 0.5 * (self.edges[i] + self.edges[i + 1])
-        return self.edges[-1]
+        # Lazy import: repro.telemetry's package init pulls in the hub,
+        # which imports this module -- a module-level import here would
+        # see a partially-initialised package during that cycle.
+        from repro.telemetry.quantiles import histogram_percentile
+
+        return histogram_percentile(
+            self.edges, self.counts, self.underflow, self.overflow, p
+        )
 
 
 class StatRegistry:

@@ -37,6 +37,13 @@ from repro.telemetry.exporters import (
     validate_chrome_trace,
 )
 from repro.telemetry.hub import NULL, NullTelemetry, Telemetry
+from repro.telemetry.quantiles import (
+    StreamingQuantile,
+    histogram_percentile,
+    latency_summary,
+    mean,
+    percentile,
+)
 from repro.telemetry.wiring import (
     attach_engine,
     attach_fabric,
@@ -54,6 +61,7 @@ __all__ = [
     "EventLog",
     "NULL",
     "NullTelemetry",
+    "StreamingQuantile",
     "Telemetry",
     "TelemetryEvent",
     "attach_engine",
@@ -68,7 +76,11 @@ __all__ = [
     "chrome_trace",
     "chrome_trace_json",
     "events_json",
+    "histogram_percentile",
+    "latency_summary",
+    "mean",
     "metrics_snapshot",
+    "percentile",
     "prometheus_text",
     "snapshot_csv",
     "snapshot_json",

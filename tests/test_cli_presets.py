@@ -178,3 +178,39 @@ class TestJobsCommand:
         assert report["tasks_unrecovered"] == 0
         text = capsys.readouterr().out
         assert "fairness" in text and "greedy-hw" in text
+
+
+class TestServeCommand:
+    def test_cli_serve_preset_choices_match_registry(self):
+        """The hardcoded argparse choices must track SERVING_PRESETS."""
+        from repro.cli import build_parser
+        from repro.presets import SERVING_PRESETS
+
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--preset", "flash-crowd"])
+        assert args.preset == "flash-crowd"
+        sub = next(
+            a for a in parser._subparsers._group_actions[0].choices["serve"]._actions
+            if a.dest == "preset"
+        )
+        assert sorted(sub.choices) == sorted(SERVING_PRESETS)
+
+    def test_serve_rejects_unknown_preset_before_running(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--preset", "no-such-scenario"])
+
+    def test_serve_writes_valid_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "serve.json"
+        assert main(["serve", "--preset", "steady", "--seed", "7",
+                     "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["offered"] == report["admitted"] + report["shed"]
+        assert report["unrecovered"] == 0
+        assert report["autoscaler"]["regions_configured"] >= 1
+        for tenant in report["tenants"].values():
+            for key in ("p50", "p95", "p99"):
+                assert key in tenant["latency_ns"]
+        text = capsys.readouterr().out
+        assert "autoscaler" in text and "goodput" in text
