@@ -12,7 +12,8 @@ Commands:
 - ``chaos``       inject faults into a run and verify the runtime self-heals,
 - ``jobs``        run a multi-tenant job mix and report per-job outcomes,
 - ``serve``       open-loop request serving with admission control, dynamic
-                  batching and SLO-driven elastic reconfiguration.
+                  batching and SLO-driven elastic reconfiguration,
+- ``bench``       wall-clock performance suite -> canonical BENCH_perf.json.
 """
 
 from __future__ import annotations
@@ -364,6 +365,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import perf
+
+    def progress(name: str, entry: dict) -> None:
+        print(f"  {name:<28s} {entry['wall_seconds']:>9.3f} s  "
+              f"{entry['events_processed']:>9d} ev  "
+              f"{entry['events_per_sec']:>12,.0f} ev/s", file=sys.stderr)
+
+    mode = "quick" if args.quick else "full"
+    print(f"running {mode} performance suite...", file=sys.stderr)
+    payload = perf.run_benchmarks(quick=args.quick, only=args.only or None,
+                                  progress=progress)
+    with open(args.out, "w") as fh:
+        fh.write(perf.to_json(payload))
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        failures = perf.compare(payload, baseline, threshold=args.threshold)
+        if failures:
+            print(f"PERFORMANCE REGRESSION vs {args.compare}:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"no regressions vs {args.compare} "
+              f"(threshold {args.threshold:.0%})", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -457,6 +490,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write the canonical ServingReport JSON here")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "bench",
+        help="wall-clock performance suite -> canonical BENCH_perf.json",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller iteration counts (CI smoke mode)")
+    p.add_argument("--only", action="append", default=None, metavar="NAME",
+                   help="run only this benchmark (repeatable)")
+    p.add_argument("--out", default="BENCH_perf.json",
+                   help="output path (default: BENCH_perf.json)")
+    p.add_argument("--compare", default=None, metavar="BASELINE",
+                   help="baseline BENCH_perf.json; exit 1 on regression")
+    p.add_argument("--threshold", type=float, default=0.30,
+                   help="relative slowdown tolerated by --compare")
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -144,6 +144,28 @@ class Worker:
         )
         return self.sim.now - start
 
+    def run_software_batch(self, kernel: Kernel, chunks) -> Generator:
+        """Simulation process: run independent work-group chunks concurrently.
+
+        ``chunks`` is a sequence of per-chunk item counts; each chunk
+        occupies one CPU core for its own latency, bounded by the core
+        count exactly like per-chunk :meth:`run_software` processes --
+        but the whole batch costs a couple of simulation events per chunk
+        instead of a full process each.  Returns elapsed ns.
+        """
+        chunks = [items for items in chunks if items > 0]
+        if not chunks:
+            return 0.0
+        start = self.sim.now
+        software = self.params.software
+        yield from self.cpu.use_batch(
+            [software.latency_ns(kernel, items) for items in chunks]
+        )
+        self.sw_calls += len(chunks)
+        for items in chunks:
+            self.ledger.add(f"{self.name}.cpu", software.energy_pj(kernel, items))
+        return self.sim.now - start
+
     # ------------------------------------------------------------------
     # reconfigurable block
     # ------------------------------------------------------------------

@@ -28,6 +28,9 @@ FRAME_BYTES = 404
 
 _RLE_MARKER = 0x00  # escape byte; chosen because zero runs dominate
 
+#: byte-translation table mapping the RLE marker to 0x01, identity elsewhere
+_MARKER_REMAP = bytes(0x01 if b == _RLE_MARKER else b for b in range(256))
+
 
 def synthesize_config_data(frames: int, fill_fraction: float, seed: int = 0) -> bytes:
     """Deterministically generate ``frames`` frames of configuration data.
@@ -45,19 +48,26 @@ def synthesize_config_data(frames: int, fill_fraction: float, seed: int = 0) -> 
     filled = round(frames * fill_fraction)
     out = bytearray()
     digest = hashlib.sha256(f"ecoscale-bitstream-{seed}".encode()).digest()
-    for i in range(frames):
-        if i < filled:
+    sha256 = hashlib.sha256
+    # frame content depends only on (digest, i & 0xFF): memoize the 256
+    # distinct frames instead of re-hashing 13 blocks per frame
+    frame_cache: dict = {}
+    blocks_per_frame = -(-FRAME_BYTES // 32)  # sha256 digests per frame
+    for i in range(filled):
+        low = i & 0xFF
+        frame = frame_cache.get(low)
+        if frame is None:
             # expand the seed digest into FRAME_BYTES of pseudo-random data
-            frame = bytearray()
-            counter = 0
-            while len(frame) < FRAME_BYTES:
-                block = hashlib.sha256(digest + bytes([i & 0xFF, counter])).digest()
-                frame.extend(block)
-                counter += 1
+            raw = b"".join(
+                sha256(digest + bytes((low, counter))).digest()
+                for counter in range(blocks_per_frame)
+            )
             # avoid the RLE escape byte in "random" data to keep frames incompressible
-            out.extend(b if b != _RLE_MARKER else 0x01 for b in frame[:FRAME_BYTES])
-        else:
-            out.extend(b"\x00" * FRAME_BYTES)
+            frame = raw[:FRAME_BYTES].translate(_MARKER_REMAP)
+            frame_cache[low] = frame
+        out += frame
+    # zero frames for unused tiles, appended in one bulk extend
+    out += b"\x00" * (FRAME_BYTES * (frames - filled))
     return bytes(out)
 
 

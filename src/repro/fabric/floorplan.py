@@ -50,6 +50,22 @@ class TileGrid:
         for c in self.columns:
             if c not in _TILE_RESOURCES:
                 raise ValueError(f"unknown column type {c!r}")
+        # Per-resource prefix sums so any column span is an O(1) query.
+        # The floorplanner probes O(ncols^2) candidate spans per placement;
+        # without these each probe allocated a ResourceVector per column.
+        n = len(self.columns)
+        rows = self.rows
+        luts = [0] * (n + 1)
+        ffs = [0] * (n + 1)
+        brams = [0] * (n + 1)
+        dsps = [0] * (n + 1)
+        for i, c in enumerate(self.columns):
+            r = _TILE_RESOURCES[c]
+            luts[i + 1] = luts[i] + r.luts * rows
+            ffs[i + 1] = ffs[i] + r.ffs * rows
+            brams[i + 1] = brams[i] + r.brams * rows
+            dsps[i + 1] = dsps[i] + r.dsps * rows
+        object.__setattr__(self, "_prefix", (luts, ffs, brams, dsps))
 
     @classmethod
     def standard(cls, num_columns: int = 60, rows: int = 50) -> "TileGrid":
@@ -67,10 +83,16 @@ class TileGrid:
         return _TILE_RESOURCES[self.columns[index]] * self.rows
 
     def span_resources(self, start: int, width: int) -> ResourceVector:
-        total = ResourceVector()
-        for i in range(start, start + width):
-            total = total + self.column_resources(i)
-        return total
+        if start < 0 or width < 0 or start + width > len(self.columns):
+            raise IndexError(f"span [{start}, {start + width}) outside grid")
+        luts, ffs, brams, dsps = self._prefix  # type: ignore[attr-defined]
+        end = start + width
+        return ResourceVector(
+            luts[end] - luts[start],
+            ffs[end] - ffs[start],
+            brams[end] - brams[start],
+            dsps[end] - dsps[start],
+        )
 
     @property
     def total_resources(self) -> ResourceVector:
@@ -112,20 +134,27 @@ class Floorplanner:
         Returns ``None`` when nothing fits.  Ties are broken leftmost,
         keeping free space consolidated (less fragmentation).
         """
-        ncols = len(self.grid.columns)
-        occupied = forbidden or []
-        best: Optional[Placement] = None
+        grid = self.grid
+        ncols = len(grid.columns)
+        occupied = [(p.start_column, p.start_column + p.width) for p in (forbidden or [])]
+        luts, ffs, brams, dsps = grid._prefix  # type: ignore[attr-defined]
+        need_l, need_f, need_b, need_d = demand.luts, demand.ffs, demand.brams, demand.dsps
+        # Same scan order as the naive version (width-major, leftmost-first)
+        # but each candidate is four prefix-sum diffs instead of a fresh
+        # ResourceVector per column plus a Placement allocation.
         for width in range(1, ncols + 1):
             for start in range(0, ncols - width + 1):
-                candidate = Placement(start, width, self.grid.span_resources(start, width))
-                if any(candidate.overlaps(p) for p in occupied):
+                end = start + width
+                if any(start < o_end and o_start < end for o_start, o_end in occupied):
                     continue
-                if demand.fits_in(candidate.resources):
-                    best = candidate
-                    break
-            if best is not None:
-                break
-        return best
+                if (
+                    need_l <= luts[end] - luts[start]
+                    and need_f <= ffs[end] - ffs[start]
+                    and need_b <= brams[end] - brams[start]
+                    and need_d <= dsps[end] - dsps[start]
+                ):
+                    return Placement(start, width, grid.span_resources(start, width))
+        return None
 
     def budget_regions(self, region_count: int) -> List[Placement]:
         """Resource budgeting: carve the grid into ``region_count`` equal

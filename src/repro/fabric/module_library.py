@@ -75,6 +75,10 @@ class ModuleLibrary:
 
     def __init__(self) -> None:
         self._by_function: Dict[str, List[AcceleratorModule]] = {}
+        # (function, capacity, items_hint) -> winning module; the daemon
+        # issues the same lookup on every dispatch decision, and variants
+        # only change via add(), which clears this
+        self._best_memo: Dict[tuple, Optional[AcceleratorModule]] = {}
 
     def add(self, module: AcceleratorModule) -> None:
         variants = self._by_function.setdefault(module.function, [])
@@ -83,6 +87,7 @@ class ModuleLibrary:
                 f"module {module.name!r} already registered for {module.function!r}"
             )
         variants.append(module)
+        self._best_memo.clear()
 
     def functions(self) -> List[str]:
         return sorted(self._by_function)
@@ -107,14 +112,21 @@ class ModuleLibrary:
         This is the lookup the runtime's reconfiguration daemon performs
         when it decides to hardware-accelerate a function.
         """
+        memo_key = (function, capacity, items_hint)
+        if memo_key in self._best_memo:
+            return self._best_memo[memo_key]
         candidates = [
             m
             for m in self._by_function.get(function, [])
             if capacity is None or m.resources.fits_in(capacity)
         ]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda m: m.latency_ns(items_hint))
+        best = (
+            min(candidates, key=lambda m: m.latency_ns(items_hint))
+            if candidates
+            else None
+        )
+        self._best_memo[memo_key] = best
+        return best
 
     def smallest_variant(self, function: str) -> Optional[AcceleratorModule]:
         candidates = self._by_function.get(function, [])

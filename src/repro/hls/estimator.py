@@ -99,6 +99,10 @@ class HlsEstimator:
 
     def __init__(self, op_costs: Dict[OpKind, OpCost] = OP_COSTS) -> None:
         self.op_costs = op_costs
+        # (kernel key, config key) -> Estimate.  Every input is immutable
+        # and Estimate is frozen, so sharing the result object is safe;
+        # design-space exploration re-estimates the same points constantly.
+        self._estimate_memo: Dict[tuple, Estimate] = {}
 
     # ------------------------------------------------------------------
     def initiation_interval(self, kernel: Kernel, config: HlsConfig) -> int:
@@ -170,6 +174,10 @@ class HlsEstimator:
 
     # ------------------------------------------------------------------
     def estimate(self, kernel: Kernel, config: HlsConfig) -> Estimate:
+        memo_key = (kernel.cache_key(), config.cache_key())
+        cached = self._estimate_memo.get(memo_key)
+        if cached is not None:
+            return cached
         ii = self.initiation_interval(kernel, config)
         depth = self.pipeline_depth(kernel, config)
         clock = self.clock_ns(kernel, config)
@@ -181,7 +189,7 @@ class HlsEstimator:
         )
         # static power scales with occupied area (rough: 0.1 uW per area unit)
         static_mw = 1.0 + resources.area_units() * 1e-4
-        return Estimate(
+        result = self._estimate_memo[memo_key] = Estimate(
             initiation_interval=ii,
             pipeline_depth=depth,
             clock_ns=clock,
@@ -190,3 +198,4 @@ class HlsEstimator:
             energy_per_item_pj=energy_per_item,
             static_power_mw=static_mw,
         )
+        return result

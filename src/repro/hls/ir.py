@@ -83,6 +83,26 @@ class Kernel:
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate array names in {names}")
 
+    def cache_key(self) -> tuple:
+        """A hashable identity for memoizing cost-model evaluations.
+
+        Kernels carry a dict field (``ops``) so the dataclass itself is
+        unhashable; this canonicalizes every field.  Computed once and
+        attached (the dataclass is frozen, hence ``object.__setattr__``).
+        """
+        try:
+            return self._cache_key  # type: ignore[attr-defined]
+        except AttributeError:
+            key = (
+                self.name,
+                self.trip_counts,
+                tuple(sorted((k.value, v) for k, v in self.ops.items())),
+                self.arrays,
+                self.recurrence,
+            )
+            object.__setattr__(self, "_cache_key", key)
+            return key
+
     @property
     def inner_trip(self) -> int:
         return self.trip_counts[-1]

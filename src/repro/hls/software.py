@@ -45,13 +45,22 @@ class SoftwareCostModel:
     def __post_init__(self) -> None:
         if self.clock_ghz <= 0 or self.issue_width <= 0:
             raise ValueError("clock and issue width must be positive")
+        # per-kernel memo: the software baseline is re-priced on every
+        # scheduling decision, so this sits on the dispatch hot path
+        # (frozen dataclass, hence object.__setattr__)
+        object.__setattr__(self, "_cycles_memo", {})
 
     def cycles_per_iteration(self, kernel: Kernel) -> float:
-        op_cycles = sum(
-            count * _CPU_OP_CYCLES[kind] for kind, count in kernel.ops.items()
-        )
-        mem_cycles = sum(a.accesses_per_iter for a in kernel.arrays) * _CPU_MEM_CYCLES
-        return (op_cycles + mem_cycles) / self.issue_width
+        memo = self._cycles_memo  # type: ignore[attr-defined]
+        key = kernel.cache_key()
+        cycles = memo.get(key)
+        if cycles is None:
+            op_cycles = sum(
+                count * _CPU_OP_CYCLES[kind] for kind, count in kernel.ops.items()
+            )
+            mem_cycles = sum(a.accesses_per_iter for a in kernel.arrays) * _CPU_MEM_CYCLES
+            cycles = memo[key] = (op_cycles + mem_cycles) / self.issue_width
+        return cycles
 
     def latency_ns(self, kernel: Kernel, items: int) -> float:
         """Time for one core to run ``items`` innermost iterations."""

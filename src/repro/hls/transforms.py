@@ -51,6 +51,21 @@ class HlsConfig:
     def partition_of(self, array_name: str) -> int:
         return self.partition.get(array_name, 1)
 
+    def cache_key(self) -> tuple:
+        """Hashable identity (the ``partition`` dict bars direct hashing)."""
+        try:
+            return self._cache_key  # type: ignore[attr-defined]
+        except AttributeError:
+            key = (
+                self.pipeline,
+                self.unroll,
+                tuple(sorted(self.partition.items())),
+                self.duplicate,
+                self.dram_ports,
+            )
+            object.__setattr__(self, "_cache_key", key)
+            return key
+
     def label(self) -> str:
         parts = ["pipe" if self.pipeline else "seq", f"u{self.unroll}", f"d{self.duplicate}"]
         if self.dram_ports > 1:

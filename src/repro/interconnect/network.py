@@ -103,6 +103,33 @@ class Network:
     def hop_distance(self, src: Hashable, dst: Hashable) -> int:
         return self.route(src, dst).hops
 
+    def hop_distances_from(
+        self, src: Hashable, dsts: Optional[Iterable[Hashable]] = None
+    ) -> Dict[Hashable, int]:
+        """Hop counts from ``src`` to each destination in one sweep.
+
+        One single-source Dijkstra replaces a per-pair search, which is
+        what makes all-pairs consumers (NUMA distance matrices) linear in
+        sources instead of quadratic.  Deliberately does *not* populate
+        the route cache: on graphs with equal-cost paths a batched sweep
+        may pick a different representative path than :meth:`route`, and
+        traffic must keep flowing over exactly the cached routes.
+        """
+        if src not in self.graph:
+            raise ValueError(f"unknown node {src!r}")
+        targets = list(dsts) if dsts is not None else self.nodes
+        _, paths = nx.single_source_dijkstra(self.graph, src, weight="weight")
+        out: Dict[Hashable, int] = {}
+        for dst in targets:
+            if dst == src:
+                out[dst] = 0
+                continue
+            path = paths.get(dst)
+            if path is None:
+                raise ValueError(f"no route from {src!r} to {dst!r}")
+            out[dst] = len(path) - 1
+        return out
+
     def diameter_hops(self, endpoints: Optional[Iterable[Hashable]] = None) -> int:
         """Maximum hop distance between any two endpoints.
 

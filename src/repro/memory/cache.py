@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -73,10 +73,11 @@ class Cache:
         self.name = name
         self.stats = CacheStats()
         self.enabled = True
-        # each set: OrderedDict tag -> _Line, LRU first
-        self._sets: List["OrderedDict[int, _Line]"] = [
-            OrderedDict() for _ in range(geometry.num_sets)
-        ]
+        # each set: OrderedDict tag -> _Line, LRU first.  Sets are
+        # materialized lazily: large machines instantiate hundreds of
+        # caches whose sets are mostly never touched, and an eager list of
+        # num_sets OrderedDicts dominated construction time.
+        self._sets: Dict[int, "OrderedDict[int, _Line]"] = {}
 
     # ------------------------------------------------------------------
     def _index_tag(self, addr: int) -> Tuple[int, int]:
@@ -98,7 +99,9 @@ class Cache:
             self.stats.misses += 1
             return False, None
         index, tag = self._index_tag(addr)
-        cset = self._sets[index]
+        cset = self._sets.get(index)
+        if cset is None:
+            cset = self._sets[index] = OrderedDict()
         line = cset.get(tag)
         if line is not None:
             cset.move_to_end(tag)
@@ -137,8 +140,8 @@ class Cache:
     def invalidate(self, addr: int) -> bool:
         """Drop one line (no writeback -- caller must have flushed)."""
         index, tag = self._index_tag(addr)
-        cset = self._sets[index]
-        if tag in cset:
+        cset = self._sets.get(index)
+        if cset is not None and tag in cset:
             del cset[tag]
             self.stats.invalidations += 1
             return True
@@ -147,11 +150,11 @@ class Cache:
     def flush(self) -> int:
         """Write back and drop everything; returns the number of dirty lines."""
         dirty = 0
-        for cset in self._sets:
+        for cset in self._sets.values():
             for line in cset.values():
                 if line.dirty:
                     dirty += 1
-            cset.clear()
+        self._sets.clear()
         self.stats.writebacks += dirty
         self.stats.flushes += 1
         return dirty
@@ -163,7 +166,9 @@ class Cache:
         for offset in range(0, page_size, line_bytes):
             addr = page_base + offset
             index, tag = self._index_tag(addr)
-            cset = self._sets[index]
+            cset = self._sets.get(index)
+            if cset is None:
+                continue
             line = cset.get(tag)
             if line is not None:
                 if line.dirty:
@@ -175,12 +180,12 @@ class Cache:
     @property
     def occupancy(self) -> int:
         """Number of valid lines currently held."""
-        return sum(len(s) for s in self._sets)
+        return sum(len(s) for s in self._sets.values())
 
     def contents(self) -> Dict[int, bool]:
         """Map of line address -> dirty, for tests."""
         out: Dict[int, bool] = {}
-        for index, cset in enumerate(self._sets):
+        for index, cset in self._sets.items():
             for tag, line in cset.items():
                 out[self._line_addr(index, tag)] = line.dirty
         return out

@@ -162,28 +162,30 @@ class Smmu:
     # ------------------------------------------------------------------
     def translate(self, context: int, addr: int, is_write: bool = False) -> Tuple[int, float]:
         """Translate ``addr`` for ``context``; returns (PA, latency_ns)."""
+        stats = self.stats
         regime = self._regime.get(context)
         if regime is None:
-            self.stats.faults += 1
+            stats.faults += 1
             raise SmmuFault(0, context, addr)
-        self.stats.translations += 1
+        stats.translations += 1
         if regime is TranslationRegime.BYPASS:
             return addr, 0.0
 
         vpn = addr >> PAGE_SHIFT
         offset = addr & (PAGE_SIZE - 1)
         key = (context, vpn)
-        cached = self._tlb.get(key)
+        tlb = self._tlb
+        cached = tlb.get(key)
         if cached is not None:
             ppn, writable = cached
             if is_write and not writable:
-                self.stats.faults += 1
+                stats.faults += 1
                 raise SmmuFault(1, context, addr)
-            self._tlb.move_to_end(key)
-            self.stats.tlb_hits += 1
+            tlb.move_to_end(key)
+            stats.tlb_hits += 1
             return (ppn << PAGE_SHIFT) | offset, 0.0
 
-        self.stats.tlb_misses += 1
+        stats.tlb_misses += 1
         latency = 0.0
         page = vpn
         writable = True
@@ -191,9 +193,9 @@ class Smmu:
         if regime in (TranslationRegime.STAGE1_ONLY, TranslationRegime.NESTED):
             entry = self._stage1[context].lookup(page)
             latency += self.walk_latency_ns
-            self.stats.walks += 1
+            stats.walks += 1
             if entry is None:
-                self.stats.faults += 1
+                stats.faults += 1
                 raise SmmuFault(1, context, addr)
             page, w1 = entry
             writable = writable and w1
@@ -201,21 +203,22 @@ class Smmu:
         if regime in (TranslationRegime.STAGE2_ONLY, TranslationRegime.NESTED):
             entry = self._stage2[context].lookup(page)
             latency += self.walk_latency_ns
-            self.stats.walks += 1
+            stats.walks += 1
             if entry is None:
-                self.stats.faults += 1
+                stats.faults += 1
                 raise SmmuFault(2, context, addr)
             page, w2 = entry
             writable = writable and w2
 
         if is_write and not writable:
-            self.stats.faults += 1
+            stats.faults += 1
             raise SmmuFault(1, context, addr)
 
-        self._tlb[key] = (page, writable)
-        self._tlb.move_to_end(key)
-        while len(self._tlb) > self.tlb_entries:
-            self._tlb.popitem(last=False)
+        # a fresh insert already lands in MRU position; at most one entry
+        # can be over capacity, so a single conditional evict suffices
+        tlb[key] = (page, writable)
+        if len(tlb) > self.tlb_entries:
+            tlb.popitem(last=False)
         return (page << PAGE_SHIFT) | offset, latency
 
     @property

@@ -57,19 +57,32 @@ class ProgressiveTranslator:
     matches no step and is free.
     """
 
+    #: bound on the per-translator result memo; cleared wholesale when full
+    _MEMO_MAX = 4096
+
     def __init__(self, steps: Sequence[TranslationStep] = ()) -> None:
         self.steps: List[TranslationStep] = list(steps)
         self.translations = 0
         self.total_steps_applied = 0
+        # addr -> (final, latency, applied-names tuple).  The chain is
+        # pure per address, so repeated pages skip the whole walk; stats
+        # are still charged per call so reports are unchanged.
+        self._memo: Dict[int, Tuple[int, float, Tuple[str, ...]]] = {}
 
     def add_step(self, step: TranslationStep) -> None:
         self.steps.append(step)
+        self._memo.clear()
 
     def translate(self, addr: int) -> Tuple[int, float, List[str]]:
         """Returns (final_address, total_latency_ns, applied step names)."""
         if addr < 0:
             raise ValueError(f"address must be non-negative, got {addr}")
         self.translations += 1
+        hit = self._memo.get(addr)
+        if hit is not None:
+            final, latency, names = hit
+            self.total_steps_applied += len(names)
+            return final, latency, list(names)
         latency = 0.0
         applied: List[str] = []
         current = addr
@@ -79,6 +92,9 @@ class ProgressiveTranslator:
                 latency += step.latency_ns
                 applied.append(step.name)
                 self.total_steps_applied += 1
+        if len(self._memo) >= self._MEMO_MAX:
+            self._memo.clear()
+        self._memo[addr] = (current, latency, tuple(applied))
         return current, latency, applied
 
     @property

@@ -145,22 +145,16 @@ class CommandQueue:
                     yield from worker.run_software(ir, global_size)
                 else:
                     # work-group parallelism: chunks on separate cores,
-                    # naturally bounded by the CPU Resource's capacity
+                    # naturally bounded by the CPU Resource's capacity.
+                    # One batched acquire/release cycle covers the whole
+                    # ND-range instead of one Process per work-group.
                     groups = min(work_groups, global_size)
                     base = global_size // groups
                     extra = global_size % groups
-                    procs = []
-                    for g in range(groups):
-                        items = base + (1 if g < extra else 0)
-                        if items:
-                            procs.append(
-                                spawn(
-                                    self.sim,
-                                    worker.run_software(ir, items),
-                                    name=f"wg{g}",
-                                )
-                            )
-                    yield AllOf(procs)
+                    chunks = [
+                        base + (1 if g < extra else 0) for g in range(groups)
+                    ]
+                    yield from worker.run_software_batch(ir, chunks)
                 return {"device": "cpu", "worker": worker.worker_id}
 
             # FPGA path: on-demand acceleration (extension #3)

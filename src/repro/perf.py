@@ -1,0 +1,273 @@
+"""The performance-regression harness behind ``python -m repro bench``.
+
+Times the simulator's hot paths -- the raw event loop, batched work-group
+dispatch, SMMU translation, an end-to-end serving preset, and the
+exascale machine-construction sweep -- and writes a canonical
+``BENCH_perf.json`` (sorted keys, fixed schema) so the wall-clock
+trajectory of the codebase is versioned alongside its behavior.
+
+Schema (``repro-bench/v1``)::
+
+    {
+      "schema": "repro-bench/v1",
+      "quick": false,
+      "benchmarks": {
+        "<name>": {
+          "wall_seconds": 1.234,
+          "events_processed": 100000,
+          "events_per_sec": 81000.5
+        },
+        ...
+      }
+    }
+
+``events_processed`` counts simulation events where the benchmark drives
+a :class:`~repro.sim.Simulator`, and modelled operations (translations,
+work items) for benchmarks that exercise a component directly; either
+way ``events_per_sec`` is the throughput headline for that benchmark.
+
+The regression gate (:func:`compare`) is what CI's bench-smoke job runs:
+a benchmark fails if it got more than ``threshold`` slower than the
+committed baseline *and* the absolute slowdown exceeds a small floor
+(sub-100ms deltas are timer noise on shared runners, not regressions).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: canonical output filename, written at the repository root
+BENCH_FILENAME = "BENCH_perf.json"
+
+SCHEMA = "repro-bench/v1"
+
+#: relative slowdown tolerated before a benchmark fails the gate
+DEFAULT_THRESHOLD = 0.30
+
+#: absolute slowdown floor (seconds): deltas below this never fail
+NOISE_FLOOR_SECONDS = 0.1
+
+
+# ----------------------------------------------------------------------
+# individual benchmarks.  Each returns (events_processed,) after doing
+# its work; the harness supplies the timing around it.
+# ----------------------------------------------------------------------
+def bench_sim_engine(quick: bool) -> int:
+    """Raw event-loop throughput: self-rescheduling callback chains."""
+    from repro.sim import Simulator
+
+    total = 20_000 if quick else 200_000
+    sim = Simulator()
+    chains = 16
+    per_chain = total // chains
+
+    def tick(remaining: int) -> None:
+        if remaining:
+            sim.schedule(1.0, tick, remaining - 1)
+
+    for c in range(chains):
+        sim.schedule(float(c), tick, per_chain - 1)
+    sim.run()
+    return sim.events_processed
+
+
+def bench_sim_cancellation(quick: bool) -> int:
+    """Schedule/cancel churn: timeouts that are mostly cancelled.
+
+    Exercises the O(1) pending counter and heap compaction -- the
+    pattern batching timers (serving) and watchdogs (chaos) produce.
+    """
+    from repro.sim import Simulator
+
+    rounds = 2_000 if quick else 20_000
+    sim = Simulator()
+
+    def noop() -> None:
+        pass
+
+    for r in range(rounds):
+        keep = sim.schedule(float(r) + 1.0, noop)
+        for _ in range(4):
+            sim.schedule(float(r) + 2.0, noop).cancel()
+        assert sim.pending > 0  # O(1) now; this used to scan the heap
+        del keep
+    sim.run()
+    return sim.events_processed
+
+
+def bench_ndrange_workgroups(quick: bool) -> int:
+    """Batched CPU work-group dispatch through the OpenCL layer."""
+    import numpy as np
+
+    from repro.core import ComputeNode, ComputeNodeParams, WorkerParams
+    from repro.hls import saxpy_kernel
+    from repro.opencl import CommandQueue, Context, DeviceType, Platform
+    from repro.opencl.program import Program
+    from repro.sim import Simulator
+
+    repeats = 20 if quick else 200
+    sim = Simulator()
+    node = ComputeNode(
+        sim, ComputeNodeParams(num_workers=1, worker=WorkerParams(cpu_cores=4))
+    )
+    plat = Platform(node)
+    ctx = Context(plat)
+    prog = Program([saxpy_kernel(8192)])
+    bufs = (
+        ctx.create_buffer(4 * 8192, dtype=np.float32),
+        ctx.create_buffer(4 * 8192, dtype=np.float32),
+    )
+    queue = CommandQueue(ctx, plat.device(0, DeviceType.CPU))
+    kernel = prog.kernel("saxpy").set_args(*bufs)
+    for _ in range(repeats):
+        queue.enqueue_nd_range(kernel, 8192, work_groups=64)
+    queue.finish()
+    return sim.events_processed
+
+
+def bench_smmu_translate(quick: bool) -> int:
+    """TLB-hit-dominated dual-stage translation (the UNIMEM fast path)."""
+    from repro.memory.address import PAGE_SIZE
+    from repro.memory.smmu import PageTable, Smmu, TranslationRegime
+
+    accesses = 50_000 if quick else 500_000
+    pages = 32
+    s1 = PageTable("s1")
+    s2 = PageTable("s2")
+    for p in range(pages):
+        s1.map(p, p + 100)
+        s2.map(p + 100, p + 200)
+    smmu = Smmu(tlb_entries=64)
+    smmu.attach_context(7, TranslationRegime.NESTED, stage1=s1, stage2=s2)
+    translate = smmu.translate
+    for i in range(accesses):
+        translate(7, ((i * 7) % pages) * PAGE_SIZE + (i % PAGE_SIZE))
+    return smmu.stats.translations
+
+
+def bench_serving_steady(quick: bool) -> int:
+    """End-to-end serving `steady` preset (compile + serve + report)."""
+    from repro.core import ComputeNode
+    from repro.core.runtime.engine import ExecutionEngine
+    from repro.presets import compiled_suite, node_preset, serving_preset
+    from repro.serving.gateway import ServingGateway
+    from repro.sim import Simulator
+
+    scenario = serving_preset("steady")
+    registry, library = compiled_suite(max_variants=2)
+    sim = Simulator()
+    node = ComputeNode(sim, node_preset(scenario.node))
+    engine = ExecutionEngine(node, registry, library, use_daemon=False)
+    gateway = ServingGateway(engine, scenario, seed=0, scenario_name="steady")
+    report = gateway.run()
+    report.json()  # include report serialization in the timed region
+    return sim.events_processed
+
+
+def bench_exascale_build(quick: bool) -> int:
+    """The exascale example's scaling sweep: build the machine hierarchy,
+    run a 4 KiB allreduce, measure the worst hop distance."""
+    from repro.core import ComputeNodeParams, Machine, MachineParams
+    from repro.sim import Simulator
+
+    configs: List[Tuple[int, Optional[List[int]], int, Optional[int]]] = [
+        (1, None, 4, None),
+        (4, [4], 4, None),
+        (16, [4, 4], 8, 4),
+        (64, [4, 4, 4], 8, 4),
+    ]
+    if quick:
+        configs = configs[:3]
+    events = 0
+    for nodes, fanouts, wpn, intra in configs:
+        sim = Simulator()
+        machine = Machine(
+            sim,
+            MachineParams(
+                num_nodes=nodes,
+                node=ComputeNodeParams(num_workers=wpn, intra_fanout=intra),
+                inter_node_fanouts=fanouts,
+            ),
+        )
+        machine.world.allreduce(4096)
+        machine.max_hop_distance()
+        # machine construction is the cost here (the collectives are
+        # analytic): count the Workers built as the modelled operations
+        events += machine.total_workers + sim.events_processed
+    return events
+
+
+#: registered benchmarks, in canonical execution order
+BENCHMARKS: Dict[str, Callable[[bool], int]] = {
+    "sim.engine": bench_sim_engine,
+    "sim.cancellation": bench_sim_cancellation,
+    "opencl.ndrange_workgroups": bench_ndrange_workgroups,
+    "memory.smmu_translate": bench_smmu_translate,
+    "serving.steady": bench_serving_steady,
+    "machine.exascale_build": bench_exascale_build,
+}
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+def run_benchmarks(
+    quick: bool = False,
+    only: Optional[List[str]] = None,
+    progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
+    """Run the suite and return the BENCH_perf payload (not yet written)."""
+    names = list(BENCHMARKS) if not only else list(only)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        known = ", ".join(BENCHMARKS)
+        raise KeyError(f"unknown benchmark(s) {unknown}; choose from: {known}")
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        fn = BENCHMARKS[name]
+        start = time.perf_counter()
+        events = fn(quick)
+        wall = time.perf_counter() - start
+        entry = {
+            "wall_seconds": round(wall, 6),
+            "events_processed": int(events),
+            "events_per_sec": round(events / wall, 3) if wall > 0 else 0.0,
+        }
+        results[name] = entry
+        if progress is not None:
+            progress(name, entry)
+    return {"schema": SCHEMA, "quick": quick, "benchmarks": results}
+
+
+def to_json(payload: Dict[str, Any]) -> str:
+    """Canonical serialized form: sorted keys, two-space indent."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor: float = NOISE_FLOOR_SECONDS,
+) -> List[str]:
+    """Regression gate: failures for benchmarks slower than baseline.
+
+    Returns human-readable failure lines (empty = gate passes).  Only
+    benchmarks present in both payloads are compared, so adding or
+    removing a benchmark never trips the gate by itself.
+    """
+    failures = []
+    base = baseline.get("benchmarks", {})
+    cur = current.get("benchmarks", {})
+    for name in sorted(set(base) & set(cur)):
+        old = float(base[name]["wall_seconds"])
+        new = float(cur[name]["wall_seconds"])
+        if new > old * (1.0 + threshold) and new - old > noise_floor:
+            failures.append(
+                f"{name}: {new:.3f}s vs baseline {old:.3f}s "
+                f"(+{100.0 * (new - old) / old:.0f}%, threshold "
+                f"{100.0 * threshold:.0f}%)"
+            )
+    return failures

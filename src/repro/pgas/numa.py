@@ -40,12 +40,18 @@ class NumaMap:
         self._by_id: Dict[int, NumaDomain] = {d.domain_id: d for d in domains}
         self._distance: Dict[tuple, int] = {}
         if network is not None:
+            # one Dijkstra sweep per distinct endpoint instead of one
+            # shortest-path search per (domain, domain) pair
+            nodes = {d.worker_node for d in domains}
+            by_src: Dict[Hashable, Dict[Hashable, int]] = {}
             for a in domains:
+                if a.worker_node not in by_src:
+                    by_src[a.worker_node] = network.hop_distances_from(a.worker_node, nodes)
+            for a in domains:
+                dist = by_src[a.worker_node]
                 for b in domains:
                     self._distance[(a.domain_id, b.domain_id)] = (
-                        0
-                        if a.domain_id == b.domain_id
-                        else network.hop_distance(a.worker_node, b.worker_node)
+                        0 if a.domain_id == b.domain_id else dist[b.worker_node]
                     )
 
     def __len__(self) -> int:

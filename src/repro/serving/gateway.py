@@ -122,6 +122,21 @@ class ServingGateway:
         self.telemetry = (
             telemetry if telemetry is not None and telemetry.enabled else None
         )
+        # pre-bound emitters for the per-request hot sites: one bound
+        # callable per site instead of rebuilding kind/component strings
+        # and walking hub attributes on every request.  None when dark,
+        # so the disabled cost stays a single identity check.
+        if self.telemetry is not None:
+            component = f"{engine.node.name}.gateway"
+            emitter = self.telemetry.emitter
+            self._emit_request = emitter("serve.request", component)
+            self._emit_shed = emitter("serve.shed", component)
+            self._emit_admit = emitter("serve.admit", component)
+            self._emit_batch = emitter("serve.batch", component)
+            self._emit_complete = emitter("serve.complete", component)
+        else:
+            self._emit_request = self._emit_shed = self._emit_admit = None
+            self._emit_batch = self._emit_complete = None
         # auto_stop off: the engine must idle between batches, not tear
         # down the moment the in-flight job count touches zero
         self.manager = JobManager(engine, fair_share=False, auto_stop=False)
@@ -163,10 +178,8 @@ class ServingGateway:
     def offer(self, request: Request) -> None:
         """One request from an arrival process: judge, shed or batch."""
         self.slo.note_offered(request)
-        if self.telemetry is not None:
-            self.telemetry.event(
-                "serve.request",
-                f"{self.engine.node.name}.gateway",
+        if self._emit_request is not None:
+            self._emit_request(
                 tenant=request.tenant,
                 function=request.function,
                 items=request.items,
@@ -176,10 +189,8 @@ class ServingGateway:
         if not verdict.accepted:
             request.shed_reason = verdict.reason
             self.slo.note_shed(request, verdict.reason)
-            if self.telemetry is not None:
-                self.telemetry.event(
-                    "serve.shed",
-                    f"{self.engine.node.name}.gateway",
+            if self._emit_shed is not None:
+                self._emit_shed(
                     tenant=request.tenant,
                     reason=verdict.reason,
                     backlog=verdict.backlog,
@@ -188,13 +199,8 @@ class ServingGateway:
         request.admitted = True
         self.slo.note_admitted(request)
         self._outstanding += 1
-        if self.telemetry is not None:
-            self.telemetry.event(
-                "serve.admit",
-                f"{self.engine.node.name}.gateway",
-                tenant=request.tenant,
-                function=request.function,
-            )
+        if self._emit_admit is not None:
+            self._emit_admit(tenant=request.tenant, function=request.function)
         self.batcher.add(request)
 
     def arrivals_finished(self, tenant: str) -> None:
@@ -225,10 +231,8 @@ class ServingGateway:
             policy=spec.policy if spec else None,
             priority=spec.priority if spec else 1,
         )
-        if self.telemetry is not None:
-            self.telemetry.event(
-                "serve.batch",
-                f"{self.engine.node.name}.gateway",
+        if self._emit_batch is not None:
+            self._emit_batch(
                 tenant=tenant,
                 function=function,
                 shape_class=shape,
@@ -245,13 +249,12 @@ class ServingGateway:
     def _completion_waiter(self, handle, batch: List[Request]) -> Generator:
         yield handle.done
         now = self.sim.now
+        emit_complete = self._emit_complete
         for request in batch:
             request.completed_at = now
             self.slo.note_completed(request)
-            if self.telemetry is not None:
-                self.telemetry.event(
-                    "serve.complete",
-                    f"{self.engine.node.name}.gateway",
+            if emit_complete is not None:
+                emit_complete(
                     tenant=request.tenant,
                     function=request.function,
                     latency_ns=request.latency_ns,

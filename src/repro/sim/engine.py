@@ -5,6 +5,11 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+#: Compact the heap when at least this many cancelled entries are queued
+#: *and* they outnumber the live entries.  Cancelled events otherwise sit
+#: in the heap until they surface, costing log-time on every push.
+_COMPACT_MIN_CANCELLED = 64
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation kernel."""
@@ -19,7 +24,8 @@ class Event:
     makes every simulation exactly reproducible.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "_key", "_sim")
 
     def __init__(
         self,
@@ -28,6 +34,7 @@ class Event:
         seq: int,
         callback: Callable[..., None],
         args: Tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -35,17 +42,23 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # precomputed sort key: heap sift compares are the hottest
+        # comparisons in the kernel, a tuple compare beats attribute walks
+        self._key = (time, priority, seq)
+        # owning simulator, so cancel() can keep the live-event counter
+        # exact; None for detached events (tests constructing raw Events)
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled(self)
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        return self._key < other._key
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -72,9 +85,12 @@ class Simulator:
         self._seq: int = 0
         self._running: bool = False
         self._processed: int = 0
+        # number of cancelled events still sitting in the heap; keeping it
+        # exact makes ``pending`` O(1) and tells us when to compact
+        self._cancelled_in_queue: int = 0
         # Optional telemetry hub (repro.telemetry).  Left as a plain
         # attribute so the kernel stays dependency-free; when None the
-        # only per-event cost is one identity check in step().
+        # only per-event cost is one identity check in the event loop.
         self.telemetry: Optional[Any] = None
 
     # ------------------------------------------------------------------
@@ -104,35 +120,68 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} < now={self.now}"
             )
-        event = Event(time, priority, self._seq, callback, args)
+        event = Event(time, priority, self._seq, callback, args, self)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping (called by Event.cancel)
+    # ------------------------------------------------------------------
+    def _note_cancelled(self, event: Event) -> None:
+        # An event detached from the heap (already fired/popped) marks
+        # itself by clearing ``_sim``, so everything reaching here is
+        # still queued.
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (event order is total)."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+
+    def _pop_next(self) -> Optional[Event]:
+        """Pop the next live event (discarding cancelled ones), or None."""
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            event = pop(queue)
+            if event.cancelled:
+                self._cancelled_in_queue -= 1
+                continue
+            event._sim = None  # detached: a late cancel() must not count
+            return event
+        return None
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def peek(self) -> Optional[float]:
         """Return the timestamp of the next pending event, or ``None``."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+            self._cancelled_in_queue -= 1
+        if not queue:
             return None
-        return self._queue[0].time
+        return queue[0].time
 
     def step(self) -> bool:
         """Fire the next event.  Returns ``False`` when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._processed += 1
-            if self.telemetry is not None:
-                self.telemetry.sim_event_fired(event)
-            event.callback(*event.args)
-            return True
-        return False
+        event = self._pop_next()
+        if event is None:
+            return False
+        self.now = event.time
+        self._processed += 1
+        if self.telemetry is not None:
+            self.telemetry.sim_event_fired(event)
+        event.callback(*event.args)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
@@ -140,21 +189,41 @@ class Simulator:
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the last event fired earlier, matching the usual
         "simulate this horizon" semantics.
+
+        The loop looks at the heap head exactly once per event: the old
+        ``peek()``-then-``step()`` shape popped cancelled entries in
+        ``peek`` and re-scanned in ``step``, doubling heap traffic.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         fired = 0
+        # hot loop: bind everything reached per event to locals
+        queue = self._queue
+        pop = heapq.heappop
         try:
             while True:
-                next_time = self.peek()
-                if next_time is None:
+                if queue is not self._queue:  # compaction swapped the list
+                    queue = self._queue
+                if not queue:
                     break
-                if until is not None and next_time > until:
+                event = queue[0]
+                if event.cancelled:
+                    pop(queue)
+                    self._cancelled_in_queue -= 1
+                    continue
+                if until is not None and event.time > until:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                self.step()
+                pop(queue)
+                event._sim = None
+                self.now = event.time
+                self._processed += 1
+                telemetry = self.telemetry
+                if telemetry is not None:
+                    telemetry.sim_event_fired(event)
+                event.callback(*event.args)
                 fired += 1
         finally:
             self._running = False
@@ -168,8 +237,9 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of scheduled, not-yet-cancelled events.  O(1): the
+        kernel keeps a live count instead of scanning the whole heap."""
+        return len(self._queue) - self._cancelled_in_queue
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator now={self.now} pending={self.pending}>"

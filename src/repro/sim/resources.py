@@ -115,6 +115,48 @@ class Resource:
         finally:
             self.release(req)
 
+    def use_batch(self, holds):
+        """Process helper: one acquire/hold/release cycle per entry of
+        ``holds``, resuming the caller once every slot has been released.
+
+        Semantically equivalent to spawning one ``use(holds[i])`` process
+        per entry and joining them, but far cheaper: requests are issued
+        up front in FIFO order (so grant order under contention matches
+        the spawn order of the process-per-chunk version), each grant
+        directly schedules its own release, and a single completion
+        signal wakes the caller -- ~2 events per chunk instead of ~5.
+
+        Usage inside a process::
+
+            yield from cpu.use_batch([t0, t1, t2])
+        """
+        holds = [h for h in holds]
+        if not holds:
+            return
+        sim = self.sim
+        schedule = sim.schedule
+        done = Signal(sim)
+        remaining = len(holds)
+
+        def _finish_one(req: Request) -> None:
+            nonlocal remaining
+            self.release(req)
+            remaining -= 1
+            if remaining == 0:
+                done.succeed(None)
+
+        for hold in holds:
+            req = self.request()
+            if req.triggered:
+                # granted immediately: go straight to the timed release
+                schedule(hold, _finish_one, req)
+            else:
+                req._subscribe(
+                    sim,
+                    lambda _v, req=req, hold=hold: schedule(hold, _finish_one, req),
+                )
+        yield done
+
 
 class PriorityRequest(Request):
     def __init__(self, sim: Simulator, resource: "PriorityResource", priority: int, seq: int) -> None:

@@ -54,6 +54,9 @@ class Telemetry:
         self.trace_sim_events = trace_sim_events
         self._collectors: List[Tuple[str, Collector]] = []
         self._sim_events = self.registry.counter("sim.events_fired")
+        # pre-bound fast path for the per-sim-event kernel hook: one call
+        # per fired event, so even one saved attribute walk matters
+        self._sim_events_add = self._sim_events.add
 
     def __bool__(self) -> bool:
         return True
@@ -80,6 +83,25 @@ class Telemetry:
         ev = TelemetryEvent(ts=self.sim.now, kind=kind, component=component, attrs=attrs)
         self.events.append(ev)
         return ev
+
+    def emitter(self, kind: str, component: str) -> Callable[..., None]:
+        """A pre-bound emit callable for one hot instrumentation site.
+
+        The returned function appends a structured event without any
+        per-call attribute lookups on the hub (``emit(key=value, ...)``).
+        Components grab one emitter per site at wiring time and call it
+        on the hot path; with the NULL hub the same accessor hands back a
+        shared no-op, so call sites need no enabled-checks at all.
+        """
+        sim = self.sim
+        log = self.events
+        append = log._events.append
+
+        def emit(**attrs: Any) -> None:
+            append(TelemetryEvent(ts=sim.now, kind=kind, component=component, attrs=attrs))
+            log.emitted += 1
+
+        return emit
 
     # ------------------------------------------------------------------
     # spans
@@ -120,7 +142,7 @@ class Telemetry:
     # hub is attached as ``sim.telemetry``)
     # ------------------------------------------------------------------
     def sim_event_fired(self, event: Any) -> None:
-        self._sim_events.add(1)
+        self._sim_events_add(1)
         if self.trace_sim_events:
             cb = event.callback
             self.event(
@@ -134,6 +156,11 @@ class Telemetry:
         self.registry.counter("sim.processes_spawned").add(1)
         if self.trace_sim_events:
             self.event("sim.process_spawn", "sim", name=process.name)
+
+
+def _null_emit(**attrs: Any) -> None:
+    """Shared no-op emitter handed out by :class:`NullTelemetry`."""
+    return None
 
 
 class NullTelemetry:
@@ -163,6 +190,9 @@ class NullTelemetry:
 
     def event(self, kind: str, component: str, **attrs: Any) -> None:
         return None
+
+    def emitter(self, kind: str, component: str) -> Callable[..., None]:
+        return _null_emit
 
     def begin(self, lane: str, name: str) -> None:
         return None
