@@ -30,6 +30,10 @@ class Task:
     task_id: int = field(default_factory=lambda: next(_task_ids))
     input_bytes: int = 0
     output_bytes: int = 0
+    # provenance tags (e.g. the serving requests batched into this task)
+    # -- opaque to the runtime, echoed into its telemetry events so
+    # engine-layer decisions stay attributable to originating requests
+    tags: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if self.items < 1:

@@ -13,6 +13,8 @@ Commands:
 - ``jobs``        run a multi-tenant job mix and report per-job outcomes,
 - ``serve``       open-loop request serving with admission control, dynamic
                   batching and SLO-driven elastic reconfiguration,
+- ``inspect``     traced serving run -> critical-path breakdown, top-K
+                  slowest requests and the SLO burn-rate alert timeline,
 - ``bench``       wall-clock performance suite -> canonical BENCH_perf.json.
 """
 
@@ -365,6 +367,99 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core import ComputeNode
+    from repro.core.runtime import ExecutionEngine
+    from repro.presets import compiled_suite, node_preset, serving_preset
+    from repro.serving import BurnRatePolicy, ServingGateway, TraceConfig
+    from repro.sim import Simulator
+    from repro.telemetry import Telemetry, validate_span_tree
+
+    print(
+        f"compiling the kernel suite, tracing preset {args.preset!r} "
+        f"(seed {args.seed}, 1-in-{args.sample_every} sampling)...",
+        file=sys.stderr,
+    )
+    scenario = serving_preset(args.preset)
+    registry, library = compiled_suite(max_variants=2)
+    sim = Simulator()
+    # a hub only when an export asks for one: the traced run itself works
+    # dark (spans land on the request tracer's standalone sink)
+    hub = Telemetry(sim) if (args.trace_out or args.events_out) else None
+    node = ComputeNode(sim, node_preset(scenario.node))
+    if hub is not None:
+        node.attach_telemetry(hub)
+    engine = ExecutionEngine(
+        node, registry, library, use_daemon=False, telemetry=hub,
+    )
+    gateway = ServingGateway(
+        engine,
+        scenario,
+        seed=args.seed,
+        scenario_name=args.preset,
+        telemetry=hub,
+        tracing=TraceConfig(
+            sample_every=args.sample_every, top_k=args.top_k
+        ),
+        alerts=BurnRatePolicy(slo_scale=args.slo_scale),
+    )
+    report = gateway.run()
+    if args.out:
+        _write_or_print(report.json(indent=2), args.out)
+    if args.trace_out or args.events_out:
+        from repro.telemetry import chrome_trace_json, events_json
+
+        if args.trace_out:
+            _write_or_print(chrome_trace_json(hub), args.trace_out)
+        if args.events_out:
+            _write_or_print(events_json(hub, indent=2), args.events_out)
+
+    tr, al = report.tracing, report.alerts
+    sink = gateway.request_tracer.tracer
+    traces = validate_span_tree(sink.spans)
+    print(f"  requests : {report.offered} offered, {report.completed} "
+          f"completed over {report.horizon_ns / 1e6:.3f} ms simulated")
+    print(f"  traces   : {tr['sampled_traces']} sampled "
+          f"({tr['violation_upgrades']} SLO upgrades), {tr['spans']} spans, "
+          f"{traces} span trees validated")
+    print(f"  analyzed : {tr['requests_analyzed']} requests "
+          f"(breakdown is exact; sampling gates span emission only)")
+
+    print("\n  critical path (per tenant, per stage):")
+    print("  tenant        stage            count     mean        max    share")
+    for tenant, block in sorted(tr["breakdown"].items()):
+        for stage, cell in block["stages"].items():
+            print(f"  {tenant:<12s}  {stage:<12s} {cell['count']:>9d} "
+                  f"{cell['mean_ns'] / 1e3:>7.1f} us "
+                  f"{cell['max_ns'] / 1e3:>7.1f} us  {cell['share']:>6.1%}")
+
+    print(f"\n  top-{len(tr['top_slowest'])} slowest requests:")
+    print("  request  tenant        function       latency  dominant stage")
+    for row in tr["top_slowest"]:
+        print(f"  #{row['request_id']:<6d} {row['tenant']:<12s}  "
+              f"{row['function']:<10s} {row['latency_ns'] / 1e3:>9.1f} us  "
+              f"{row['dominant_stage']} "
+              f"({row['stages'][row['dominant_stage']] / 1e3:.1f} us, "
+              f"sampled={row['sampled']})")
+
+    policy = al["policy"]
+    print(f"\n  burn-rate alerts: {al['fired']} fired, "
+          f"{len(al['active'])} still active "
+          f"(objective = {policy['slo_scale']:.0%} of SLO, "
+          f"target {policy['target']:.0%})")
+    if al["timeline"]:
+        print("  ts            tenant        window  burn     event")
+        for e in al["timeline"]:
+            print(f"  {e['ts'] / 1e6:>9.3f} ms  {e['tenant']:<12s}  "
+                  f"{e['window']:<6s} {e['burn']:>6.2f}   {e['event']}")
+    else:
+        print("  (no alert transitions -- the run stayed within budget)")
+    if args.trace_out:
+        print("load the trace in https://ui.perfetto.dev or chrome://tracing",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -490,6 +585,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write the canonical ServingReport JSON here")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "inspect",
+        help="traced serving run -> critical path, slowest requests, alerts",
+    )
+    # keep in sync with repro.presets.SERVING_PRESETS (not imported here:
+    # parser construction must stay light for every subcommand)
+    p.add_argument("--preset", default="steady",
+                   choices=("diurnal", "flash-crowd", "steady"),
+                   help="serving scenario to trace")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the arrival processes")
+    p.add_argument("--sample-every", type=int, default=8,
+                   help="head-sample 1 request in N (1 = trace everything)")
+    p.add_argument("--top-k", type=int, default=5,
+                   help="slowest requests surfaced in the report")
+    p.add_argument("--slo-scale", type=float, default=0.1,
+                   help="internal alert objective as a fraction of each "
+                        "tenant's SLO (SRE objective < agreement)")
+    p.add_argument("--out", default=None,
+                   help="write the canonical ServingReport JSON here")
+    p.add_argument("--trace-out", default=None,
+                   help="also export the Perfetto trace JSON here")
+    p.add_argument("--events-out", default=None,
+                   help="also export the structured event log JSON here")
+    p.set_defaults(fn=_cmd_inspect)
 
     p = sub.add_parser(
         "bench",

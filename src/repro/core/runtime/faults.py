@@ -235,14 +235,20 @@ class TaskSupervisor:
         self.tasks_retried += 1
         self.engine.jobs.record(item.job_id).tasks_retried += 1
         if self.telemetry is not None:
-            self.telemetry.event(
-                "runtime.task_retry",
-                f"{self.engine.node.name}.runtime",
+            attrs = dict(
                 task=item.task.task_id,
                 function=item.task.function,
                 attempt=item.attempts,
                 worker=worker,
                 job=item.job_id,
+            )
+            if item.task.tags:
+                # retry-onto-survivor stays attributable to its requests
+                attrs["requests"] = item.task.tags.get("requests")
+            self.telemetry.event(
+                "runtime.task_retry",
+                f"{self.engine.node.name}.runtime",
+                **attrs,
             )
         yield item.done
         record.outstanding -= 1
@@ -264,13 +270,18 @@ class TaskSupervisor:
         if record.outstanding == 0 and record.recovered_at is None:
             record.recovered_at = self.engine.node.sim.now
         if self.telemetry is not None:
-            self.telemetry.event(
-                "runtime.task_unrecovered",
-                f"{self.engine.node.name}.runtime",
+            attrs = dict(
                 task=item.task.task_id,
                 function=item.task.function,
                 attempts=item.attempts,
                 job=item.job_id,
+            )
+            if item.task.tags:
+                attrs["requests"] = item.task.tags.get("requests")
+            self.telemetry.event(
+                "runtime.task_unrecovered",
+                f"{self.engine.node.name}.runtime",
+                **attrs,
             )
         if not item.done.triggered:
             item.done.succeed(item)     # unblock the driver: the run ends
@@ -307,12 +318,17 @@ class TaskSupervisor:
             record.tasks_redispatched += 1
             record.outstanding += 1
             if self.telemetry is not None:
-                self.telemetry.event(
-                    "runtime.task_timeout",
-                    f"{self.engine.node.name}.runtime",
+                attrs = dict(
                     task=item.task.task_id,
                     worker=scheduler.worker_id,
                     age_ns=sim.now - item.started_at,
+                )
+                if item.task.tags:
+                    attrs["requests"] = item.task.tags.get("requests")
+                self.telemetry.event(
+                    "runtime.task_timeout",
+                    f"{self.engine.node.name}.runtime",
+                    **attrs,
                 )
             spawn(
                 sim,

@@ -175,6 +175,9 @@ class JobHandle:
     peak_in_flight: int = 0
     on_done: Optional[Callable[[], None]] = None
     process: Optional[Process] = None
+    # the WorkItems this job dispatched, in dispatch order -- the serving
+    # layer reads execution timing/device off them at completion time
+    items: List["WorkItem"] = field(default_factory=list)
 
     @property
     def finished(self) -> bool:
@@ -364,6 +367,7 @@ class JobManager:
                 item = engine.submit_task(task, job_id=job.job_id)
                 self._track(job, item)
                 items.append(item)
+                job.items.append(item)
             yield AllOf([item.done for item in items])
             completed += len(items)
             if engine.retrain_every and engine.selector is not None:
@@ -396,6 +400,7 @@ class JobManager:
             item = engine.submit_task(task, job_id=job.job_id)
             self._track(job, item)
             items.append(item)
+            job.items.append(item)
             result = yield item.done
             return result
 

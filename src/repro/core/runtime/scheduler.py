@@ -57,6 +57,7 @@ class WorkItem:
     attempts: int = 0               # retries consumed (0 = first dispatch)
     redispatched: bool = False      # claimed by the supervisor for retry
     failed: bool = False            # gave up: retry budget exhausted
+    fell_back: bool = False         # accelerator died mid-call, re-ran in SW
 
 
 _SHUTDOWN = object()
@@ -161,9 +162,7 @@ class WorkerScheduler:
         kernel = self.registry.kernel(task.function)
         device = self._decide_device(task, item.job_id)
         if self.telemetry is not None:
-            self.telemetry.event(
-                "scheduler.decision",
-                self.worker.name,
+            attrs = dict(
                 task=task.task_id,
                 function=task.function,
                 device=device,
@@ -171,6 +170,10 @@ class WorkerScheduler:
                 queue_depth=self.queue.depth,
                 job=item.job_id,
             )
+            if task.tags:
+                # provenance: which serving requests ride this task
+                attrs["requests"] = task.tags.get("requests")
+            self.telemetry.event("scheduler.decision", self.worker.name, **attrs)
         start = self.node.sim.now
         if device == "hw":
             self.hw_chosen += 1
@@ -196,13 +199,17 @@ class WorkerScheduler:
                 self.hw_chosen -= 1
                 self.hw_fallbacks += 1
                 device = "sw"
+                item.fell_back = True
                 if self.telemetry is not None:
-                    self.telemetry.event(
-                        "scheduler.accel_lost",
-                        self.worker.name,
+                    attrs = dict(
                         task=task.task_id,
                         function=task.function,
                         job=item.job_id,
+                    )
+                    if task.tags:
+                        attrs["requests"] = task.tags.get("requests")
+                    self.telemetry.event(
+                        "scheduler.accel_lost", self.worker.name, **attrs
                     )
         if device == "sw":
             self.sw_chosen += 1

@@ -166,6 +166,35 @@ def bench_serving_steady(quick: bool) -> int:
     return sim.events_processed
 
 
+def bench_serving_steady_traced(quick: bool) -> int:
+    """The `steady` preset with request tracing + burn-rate alerting on.
+
+    Paired with ``serving.steady``: the two walls bound the observability
+    tax (CI's trace-smoke job asserts the ratio stays under its gate).
+    """
+    from repro.core import ComputeNode
+    from repro.core.runtime.engine import ExecutionEngine
+    from repro.presets import compiled_suite, node_preset, serving_preset
+    from repro.serving.alerts import BurnRatePolicy
+    from repro.serving.gateway import ServingGateway
+    from repro.serving.tracing import TraceConfig
+    from repro.sim import Simulator
+
+    scenario = serving_preset("steady")
+    registry, library = compiled_suite(max_variants=2)
+    sim = Simulator()
+    node = ComputeNode(sim, node_preset(scenario.node))
+    engine = ExecutionEngine(node, registry, library, use_daemon=False)
+    gateway = ServingGateway(
+        engine, scenario, seed=0, scenario_name="steady",
+        tracing=TraceConfig(sample_every=1),       # worst case: trace all
+        alerts=BurnRatePolicy(slo_scale=0.1),
+    )
+    report = gateway.run()
+    report.json()  # include report serialization in the timed region
+    return sim.events_processed
+
+
 def bench_exascale_build(quick: bool) -> int:
     """The exascale example's scaling sweep: build the machine hierarchy,
     run a 4 KiB allreduce, measure the worst hop distance."""
@@ -206,6 +235,7 @@ BENCHMARKS: Dict[str, Callable[[bool], int]] = {
     "opencl.ndrange_workgroups": bench_ndrange_workgroups,
     "memory.smmu_translate": bench_smmu_translate,
     "serving.steady": bench_serving_steady,
+    "serving.steady.traced": bench_serving_steady_traced,
     "machine.exascale_build": bench_exascale_build,
 }
 

@@ -23,6 +23,7 @@ from repro.serving.admission import (
     AdmissionVerdict,
     TokenBucket,
 )
+from repro.serving.alerts import BurnRateAlerter, BurnRatePolicy
 from repro.serving.arrivals import ARRIVAL_KINDS, arrival_process
 from repro.serving.autoscaler import Autoscaler, AutoscalerStats
 from repro.serving.batcher import DynamicBatcher
@@ -33,6 +34,13 @@ from repro.serving.gateway import (
 )
 from repro.serving.requests import Request, shape_class
 from repro.serving.slo import SLOTracker, TenantSLO
+from repro.serving.tracing import (
+    STAGES,
+    CriticalPathAnalyzer,
+    RequestTracer,
+    TraceConfig,
+    TraceContext,
+)
 
 __all__ = [
     "ARRIVAL_KINDS",
@@ -40,16 +48,23 @@ __all__ = [
     "AdmissionVerdict",
     "Autoscaler",
     "AutoscalerStats",
+    "BurnRateAlerter",
+    "BurnRatePolicy",
+    "CriticalPathAnalyzer",
     "DynamicBatcher",
     "OK",
     "QUEUE_FULL",
     "RATE_LIMIT",
     "Request",
+    "RequestTracer",
     "SLOTracker",
+    "STAGES",
     "ServingGateway",
     "ServingReport",
     "TenantSLO",
     "TokenBucket",
+    "TraceConfig",
+    "TraceContext",
     "arrival_process",
     "run_serving_experiment",
     "shape_class",

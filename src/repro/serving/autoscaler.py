@@ -94,6 +94,11 @@ class Autoscaler:
         self.stats = AutoscalerStats()
         self._cooldown: Dict[str, int] = {}
         self._running = True
+        # opt-in: point this at a BurnRateAlerter (or anything with
+        # ``is_burning()``) and a firing alert counts as SLO pressure --
+        # never wired automatically, so alerting stays observe-only by
+        # default and traced runs do not perturb scaling decisions
+        self.alert_source = None
 
     def stop(self) -> None:
         self._running = False
@@ -102,6 +107,8 @@ class Autoscaler:
     # ------------------------------------------------------------------
     def _slo_pressure(self) -> bool:
         """Any tenant whose streaming p99 is past its target?"""
+        if self.alert_source is not None and self.alert_source.is_burning():
+            return True
         for t in self.slo.tenants():
             if (
                 t.completed >= self.min_completions_for_slo

@@ -42,12 +42,15 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from repro.apps.taskgraph import Task, TaskGraph
 from repro.core.runtime.jobs import JobManager
 from repro.serving.admission import AdmissionController
+from repro.serving.alerts import BurnRateAlerter, BurnRatePolicy
 from repro.serving.arrivals import arrival_process
 from repro.serving.batcher import BatchKey, DynamicBatcher
 from repro.serving.requests import Request
 from repro.serving.slo import SLOTracker
+from repro.serving.tracing import RequestTracer, TraceConfig
 from repro.serving.autoscaler import Autoscaler
 from repro.sim import spawn
+from repro.telemetry.tracing import Tracer
 
 
 @dataclass
@@ -71,13 +74,18 @@ class ServingReport:
     autoscaler: Dict[str, Any]
     machine: Dict[str, Any]
     chaos: Dict[str, Any] = field(default_factory=dict)
+    # opt-in observability blocks: empty (and absent from the canonical
+    # JSON) unless request tracing / burn-rate alerting was enabled, so
+    # disabled-mode reports stay byte-identical to seed
+    tracing: Dict[str, Any] = field(default_factory=dict)
+    alerts: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def shed_rate(self) -> float:
         return self.shed / self.offered if self.offered else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "scenario": self.scenario,
             "seed": self.seed,
             "horizon_ns": self.horizon_ns,
@@ -97,6 +105,11 @@ class ServingReport:
             "machine": self.machine,
             "chaos": self.chaos,
         }
+        if self.tracing:
+            out["tracing"] = self.tracing
+        if self.alerts:
+            out["alerts"] = self.alerts
+        return out
 
     def json(self, indent: Optional[int] = None) -> str:
         """Canonical JSON (CI determinism diffing)."""
@@ -113,6 +126,8 @@ class ServingGateway:
         seed: int = 0,
         scenario_name: str = "custom",
         telemetry=None,
+        tracing: Optional[TraceConfig] = None,
+        alerts: Optional[BurnRatePolicy] = None,
     ) -> None:
         self.engine = engine
         self.sim = engine.node.sim
@@ -137,6 +152,29 @@ class ServingGateway:
         else:
             self._emit_request = self._emit_shed = self._emit_admit = None
             self._emit_batch = self._emit_complete = None
+        # request tracing is a separate opt-in from the hub: a hub alone
+        # must not change the report (byte-identity contract), and traced
+        # runs work dark too (spans land on a standalone tracer)
+        if tracing is not None:
+            span_sink = (
+                self.telemetry.tracer
+                if self.telemetry is not None
+                else Tracer(self.sim)
+            )
+            self.request_tracer: Optional[RequestTracer] = RequestTracer(
+                span_sink, tracing
+            )
+        else:
+            self.request_tracer = None
+        self.alerter: Optional[BurnRateAlerter] = (
+            BurnRateAlerter(
+                alerts,
+                telemetry=telemetry,
+                component=f"{engine.node.name}.alerts",
+            )
+            if alerts is not None
+            else None
+        )
         # auto_stop off: the engine must idle between batches, not tear
         # down the moment the in-flight job count touches zero
         self.manager = JobManager(engine, fair_share=False, auto_stop=False)
@@ -177,15 +215,23 @@ class ServingGateway:
 
     def offer(self, request: Request) -> None:
         """One request from an arrival process: judge, shed or batch."""
+        tracer = self.request_tracer
+        if tracer is not None:
+            request.trace = tracer.context(request)
         self.slo.note_offered(request)
         if self._emit_request is not None:
             self._emit_request(
                 tenant=request.tenant,
                 function=request.function,
                 items=request.items,
+                request=request.request_id,
             )
         backlog = self.slo.tenant(request.tenant).outstanding
         verdict = self.admission.admit(request, self.sim.now, backlog)
+        if tracer is not None:
+            tracer.on_verdict(
+                request.trace, verdict.accepted, verdict.reason, verdict.backlog
+            )
         if not verdict.accepted:
             request.shed_reason = verdict.reason
             self.slo.note_shed(request, verdict.reason)
@@ -194,13 +240,20 @@ class ServingGateway:
                     tenant=request.tenant,
                     reason=verdict.reason,
                     backlog=verdict.backlog,
+                    request=request.request_id,
                 )
+            if tracer is not None:
+                tracer.on_shed(request.trace)
             return
         request.admitted = True
         self.slo.note_admitted(request)
         self._outstanding += 1
         if self._emit_admit is not None:
-            self._emit_admit(tenant=request.tenant, function=request.function)
+            self._emit_admit(
+                tenant=request.tenant,
+                function=request.function,
+                request=request.request_id,
+            )
         self.batcher.add(request)
 
     def arrivals_finished(self, tenant: str) -> None:
@@ -218,6 +271,16 @@ class ServingGateway:
         spec = self._specs.get(tenant)
         items = sum(r.items for r in batch)
         worker = next(self._rr_worker) % len(self.engine.node.workers)
+        tracer = self.request_tracer
+        tags = None
+        if tracer is not None:
+            # provenance the engine layer echoes into its events: which
+            # requests (= trace ids) this coalesced task carries
+            tags = {
+                "tenant": tenant,
+                "requests": [r.request_id for r in batch],
+                "traces": [r.trace.trace_id for r in batch],
+            }
         task = Task(
             function=function,
             items=items,
@@ -225,14 +288,27 @@ class ServingGateway:
             affinity_worker=worker,
             input_bytes=items * 4,
             output_bytes=items * 4,
+            tags=tags,
         )
         handle = self.manager.submit_job(
             TaskGraph([task]),
             policy=spec.policy if spec else None,
             priority=spec.priority if spec else 1,
         )
+        if tracer is not None:
+            worker_lane = self.engine.node.worker(worker).name
+            for r in batch:
+                tracer.on_dispatch(
+                    r.trace,
+                    job_id=handle.job_id,
+                    worker=worker,
+                    batch_size=len(batch),
+                    batch_items=items,
+                    shape=shape,
+                    worker_lane=worker_lane,
+                )
         if self._emit_batch is not None:
-            self._emit_batch(
+            attrs = dict(
                 tenant=tenant,
                 function=function,
                 shape_class=shape,
@@ -240,6 +316,9 @@ class ServingGateway:
                 items=items,
                 job=handle.job_id,
             )
+            if tags is not None:
+                attrs["requests"] = tags["requests"]
+            self._emit_batch(**attrs)
         spawn(
             self.sim,
             self._completion_waiter(handle, batch),
@@ -250,6 +329,11 @@ class ServingGateway:
         yield handle.done
         now = self.sim.now
         emit_complete = self._emit_complete
+        tracer = self.request_tracer
+        alerter = self.alerter
+        # the batch rode exactly one task; its WorkItem carries execution
+        # start time, device and the retry/fallback history
+        item = handle.items[0] if handle.items else None
         for request in batch:
             request.completed_at = now
             self.slo.note_completed(request)
@@ -258,7 +342,18 @@ class ServingGateway:
                     tenant=request.tenant,
                     function=request.function,
                     latency_ns=request.latency_ns,
+                    request=request.request_id,
                 )
+            if tracer is not None or alerter is not None:
+                slo_ns = self.slo.tenant(request.tenant).slo_ns
+                if tracer is not None:
+                    tracer.on_complete(
+                        request.trace, item, violated=request.latency_ns > slo_ns
+                    )
+                if alerter is not None:
+                    alerter.observe(
+                        now, request.tenant, request.latency_ns, slo_ns
+                    )
         self._outstanding -= len(batch)
         self._maybe_drain()
 
@@ -363,6 +458,14 @@ class ServingGateway:
                 "actions": list(a.actions),
             },
             machine=machine,
+            tracing=(
+                self.request_tracer.report_block()
+                if self.request_tracer is not None
+                else {}
+            ),
+            alerts=(
+                self.alerter.report_block() if self.alerter is not None else {}
+            ),
         )
 
 
@@ -373,12 +476,17 @@ def run_serving_experiment(
     fault_tolerance=None,
     crash: Optional[Tuple[int, float, Optional[float]]] = None,
     max_variants: int = 2,
+    tracing: Optional[TraceConfig] = None,
+    alerts: Optional[BurnRatePolicy] = None,
 ) -> ServingReport:
     """Build a machine for ``preset`` and serve it end to end.
 
     ``crash`` is an optional ``(worker_id, at_ns, downtime_ns)`` chaos
     overlay (``downtime_ns=None`` makes the crash permanent); arm
     ``fault_tolerance`` alongside it or admitted requests will be lost.
+    ``tracing`` / ``alerts`` opt the run into request-scoped causal
+    tracing and burn-rate alerting (extra report blocks; the canonical
+    report without them is byte-identical to a plain run).
     """
     from repro.core import ComputeNode
     from repro.core.runtime.engine import ExecutionEngine
@@ -398,7 +506,13 @@ def run_serving_experiment(
         fault_tolerance=fault_tolerance,
     )
     gateway = ServingGateway(
-        engine, scenario, seed=seed, scenario_name=preset, telemetry=telemetry
+        engine,
+        scenario,
+        seed=seed,
+        scenario_name=preset,
+        telemetry=telemetry,
+        tracing=tracing,
+        alerts=alerts,
     )
     chaos_block: Dict[str, Any] = {}
     if crash is not None:

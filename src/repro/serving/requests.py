@@ -16,7 +16,7 @@ waiting disproportionately on the big ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 
 def shape_class(items: int) -> int:
@@ -39,6 +39,9 @@ class Request:
     shed_reason: Optional[str] = None    # "rate-limit" | "queue-full"
     batched_at: Optional[float] = None
     completed_at: Optional[float] = None
+    # the causal TraceContext when request tracing is on (None when dark);
+    # riding the request is what propagates it through the batcher
+    trace: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.items < 1:

@@ -1,0 +1,403 @@
+"""Request-scoped causal tracing for the serving pipeline.
+
+Every offered request can carry a :class:`TraceContext` -- an explicit
+per-request object handed along the gateway -> batcher -> runtime call
+chain (never a global, so sharded partitions can merge span streams
+deterministically later).  The context accumulates what each stage
+learns (admission verdict, batch membership, job id, executing worker,
+device, retries) and, at the request's terminal event, the
+:class:`RequestTracer` turns it into a parent-linked span tree on the
+unified :class:`~repro.telemetry.tracing.Tracer`:
+
+::
+
+    request#17                 kind=request   lane=serve.<tenant>
+      +- admission             kind=admission   (instant: verdict)
+      +- batch.wait            kind=batch.wait  arrived -> batched
+      +- sched.queue           kind=sched.queue batched -> execution start
+      +- execute               kind=execute     start -> completed
+                                (device, worker, attempts, fallback)
+
+The four stages partition the request's end-to-end latency exactly --
+``admission`` is an instant verdict (0 ns), and the other three tile
+``[arrived_at, completed_at]`` with no gaps -- which is what lets the
+:class:`CriticalPathAnalyzer` reconcile per-stage sums against
+end-to-end latency in the canonical report.  Reconfiguration /
+bitstream-load stalls and interconnect/DMA transfers happen *inside*
+the execute stage (the UNILOGIC invoke path); they stay attributable
+through the worker-lane spans and ``fabric.*`` events the runtime
+already emits, keyed by the same job id the context records.
+
+Sampling is head-based and seed-stable: ``request_id % sample_every ==
+0`` decides at offer time.  A non-sampled request that then violates
+its tenant's SLO gets the identical tree synthesized retroactively at
+completion (every timestamp is already on the context), so slow
+requests are never invisible.  With tracing off the gateway holds no
+tracer at all and reports stay byte-identical to seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.tracing import Tracer
+
+#: Canonical stage order -- also the tie-break for dominant-stage.
+STAGES = ("admission", "batch_wait", "sched_queue", "execute")
+
+
+@dataclass
+class TraceConfig:
+    """How the serving layer samples and reports request traces."""
+
+    sample_every: int = 8            # head-sample 1 request in N
+    sample_on_violation: bool = True # always trace SLO violators
+    top_k: int = 5                   # slowest traces surfaced in the report
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if self.top_k < 0:
+            raise ValueError("top_k must be >= 0")
+
+
+@dataclass
+class TraceContext:
+    """The per-request causal context, propagated explicitly.
+
+    Created at offer time, carried on the request through the batcher,
+    stamped by the gateway at dispatch, finalized by the completion
+    waiter.  ``trace_id`` is the request id -- unique per run and
+    stable across replays of the same seed.
+    """
+
+    trace_id: int
+    request: Any                     # the serving Request
+    sampled: bool
+    verdict: str = ""
+    backlog: int = 0
+    job_id: Optional[int] = None
+    batch_size: int = 0
+    batch_items: int = 0
+    shape_class: int = 0
+    worker: Optional[int] = None
+    worker_lane: str = ""            # the executing worker's trace lane
+    device: Optional[str] = None
+    attempts: int = 0
+    fell_back: bool = False
+    exec_started_at: Optional[float] = None
+
+
+class CriticalPathAnalyzer:
+    """Folds per-request stage decompositions into the report blocks.
+
+    Keeps per-(tenant, stage) aggregates plus every request's summary
+    row (a few floats each) so the report can rank the top-K slowest
+    traces with their dominant stage.  All requests feed the breakdown
+    -- sampling only gates span *emission*, never the statistics, so
+    the table is exact.
+    """
+
+    def __init__(self, top_k: int = 5) -> None:
+        self.top_k = top_k
+        self._agg: Dict[str, Dict[str, Dict[str, float]]] = {}
+        self._rows: List[Dict[str, Any]] = []
+
+    def record(
+        self,
+        tenant: str,
+        function: str,
+        request_id: int,
+        stages: Dict[str, float],
+        latency_ns: float,
+        sampled: str,
+    ) -> None:
+        per_tenant = self._agg.setdefault(tenant, {})
+        for stage, dur in stages.items():
+            cell = per_tenant.setdefault(
+                stage, {"count": 0, "total_ns": 0.0, "max_ns": 0.0}
+            )
+            cell["count"] += 1
+            cell["total_ns"] += dur
+            if dur > cell["max_ns"]:
+                cell["max_ns"] = dur
+        dominant = max(STAGES, key=lambda s: (stages.get(s, 0.0), -STAGES.index(s)))
+        self._rows.append(
+            {
+                "request_id": request_id,
+                "tenant": tenant,
+                "function": function,
+                "latency_ns": latency_ns,
+                "dominant_stage": dominant,
+                "stages": {s: stages.get(s, 0.0) for s in STAGES},
+                "sampled": sampled,
+            }
+        )
+
+    def breakdown(self) -> Dict[str, Any]:
+        """The canonical per-tenant/per-stage table."""
+        out: Dict[str, Any] = {}
+        for tenant in sorted(self._agg):
+            stages = {}
+            latency_total = 0.0
+            for stage in STAGES:
+                cell = self._agg[tenant].get(stage)
+                if cell is None:
+                    continue
+                stages[stage] = {
+                    "count": int(cell["count"]),
+                    "total_ns": cell["total_ns"],
+                    "mean_ns": cell["total_ns"] / cell["count"],
+                    "max_ns": cell["max_ns"],
+                }
+                latency_total += cell["total_ns"]
+            for stage, cell in stages.items():
+                cell["share"] = (
+                    cell["total_ns"] / latency_total if latency_total else 0.0
+                )
+            out[tenant] = {"stages": stages, "latency_total_ns": latency_total}
+        return out
+
+    def top_slowest(self) -> List[Dict[str, Any]]:
+        """The K slowest requests (ties broken by request id: stable)."""
+        ranked = sorted(
+            self._rows, key=lambda r: (-r["latency_ns"], r["request_id"])
+        )
+        return ranked[: self.top_k]
+
+    @property
+    def recorded(self) -> int:
+        return len(self._rows)
+
+
+class RequestTracer:
+    """Creates contexts, applies the sampling policy, emits span trees."""
+
+    def __init__(self, tracer: Tracer, config: Optional[TraceConfig] = None) -> None:
+        self.tracer = tracer
+        self.config = config or TraceConfig()
+        self.analyzer = CriticalPathAnalyzer(top_k=self.config.top_k)
+        self.sampled_traces = 0
+        self.violation_upgrades = 0
+        # causal spans this tracer emitted (the sink may also hold lane
+        # spans from the runtime when it is the shared hub tracer)
+        self.spans_emitted = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks (called by the gateway as the request moves)
+    # ------------------------------------------------------------------
+    def context(self, request: Any) -> TraceContext:
+        """Open the causal context at offer time (head sampling here)."""
+        sampled = request.request_id % self.config.sample_every == 0
+        return TraceContext(
+            trace_id=request.request_id, request=request, sampled=sampled
+        )
+
+    def on_verdict(self, ctx: TraceContext, accepted: bool, reason: str, backlog: int) -> None:
+        ctx.verdict = "admit" if accepted else reason
+        ctx.backlog = backlog
+
+    def on_shed(self, ctx: TraceContext) -> None:
+        """Terminal for a shed request: a two-span tree if sampled."""
+        if ctx.sampled:
+            self.sampled_traces += 1
+            self._emit_shed_tree(ctx)
+
+    def on_dispatch(
+        self,
+        ctx: TraceContext,
+        job_id: int,
+        worker: int,
+        batch_size: int,
+        batch_items: int,
+        shape: int,
+        worker_lane: str = "",
+    ) -> None:
+        ctx.job_id = job_id
+        ctx.worker = worker
+        ctx.worker_lane = worker_lane
+        ctx.batch_size = batch_size
+        ctx.batch_items = batch_items
+        ctx.shape_class = shape
+
+    def on_complete(self, ctx: TraceContext, item: Any, violated: bool) -> None:
+        """Terminal for a completed request: decompose, maybe emit.
+
+        ``item`` is the runtime WorkItem the request's batch rode
+        (execution start time, device, retry/fallback history).
+        """
+        if item is not None:
+            ctx.device = item.device_used
+            ctx.attempts = item.attempts
+            ctx.fell_back = getattr(item, "fell_back", False)
+            ctx.exec_started_at = item.started_at
+        r = ctx.request
+        exec_start = (
+            ctx.exec_started_at
+            if ctx.exec_started_at is not None
+            else r.batched_at
+        )
+        stages = {
+            "admission": 0.0,
+            "batch_wait": r.batched_at - r.arrived_at,
+            "sched_queue": exec_start - r.batched_at,
+            "execute": r.completed_at - exec_start,
+        }
+        emit = ctx.sampled or (violated and self.config.sample_on_violation)
+        sampled_how = "head" if ctx.sampled else ("slo" if emit else "none")
+        self.analyzer.record(
+            tenant=r.tenant,
+            function=r.function,
+            request_id=r.request_id,
+            stages=stages,
+            latency_ns=r.completed_at - r.arrived_at,
+            sampled=sampled_how,
+        )
+        if emit:
+            self.sampled_traces += 1
+            if not ctx.sampled:
+                self.violation_upgrades += 1
+            self._emit_complete_tree(ctx, stages, exec_start, sampled_how)
+
+    # ------------------------------------------------------------------
+    # span emission
+    # ------------------------------------------------------------------
+    def _add(self, *args: Any, **kwargs: Any) -> Any:
+        self.spans_emitted += 1
+        return self.tracer.add(*args, **kwargs)
+
+    def _emit_shed_tree(self, ctx: TraceContext) -> None:
+        r = ctx.request
+        lane = f"serve.{r.tenant}"
+        root = self._add(
+            lane,
+            f"request#{r.request_id}",
+            start=r.arrived_at,
+            end=r.arrived_at,
+            trace_id=ctx.trace_id,
+            kind="request",
+            tenant=r.tenant,
+            function=r.function,
+            items=r.items,
+            outcome="shed",
+            sampled="head",
+        )
+        self._add(
+            lane,
+            "admission",
+            start=r.arrived_at,
+            end=r.arrived_at,
+            trace_id=ctx.trace_id,
+            parent=root,
+            kind="admission",
+            verdict=ctx.verdict,
+            backlog=ctx.backlog,
+        )
+
+    def _emit_complete_tree(
+        self,
+        ctx: TraceContext,
+        stages: Dict[str, float],
+        exec_start: float,
+        sampled_how: str,
+    ) -> None:
+        r = ctx.request
+        lane = f"serve.{r.tenant}"
+        root = self._add(
+            lane,
+            f"request#{r.request_id}",
+            start=r.arrived_at,
+            end=r.completed_at,
+            trace_id=ctx.trace_id,
+            kind="request",
+            tenant=r.tenant,
+            function=r.function,
+            items=r.items,
+            outcome="completed",
+            sampled=sampled_how,
+        )
+        self._add(
+            lane,
+            "admission",
+            start=r.arrived_at,
+            end=r.arrived_at,
+            trace_id=ctx.trace_id,
+            parent=root,
+            kind="admission",
+            verdict=ctx.verdict,
+            backlog=ctx.backlog,
+        )
+        self._add(
+            lane,
+            "batch.wait",
+            start=r.arrived_at,
+            end=r.batched_at,
+            trace_id=ctx.trace_id,
+            parent=root,
+            kind="batch.wait",
+            batch_size=ctx.batch_size,
+            batch_items=ctx.batch_items,
+            shape_class=ctx.shape_class,
+        )
+        self._add(
+            lane,
+            "sched.queue",
+            start=r.batched_at,
+            end=exec_start,
+            trace_id=ctx.trace_id,
+            parent=root,
+            kind="sched.queue",
+            job=ctx.job_id,
+            worker=ctx.worker,
+        )
+        execute = self._add(
+            ctx.worker_lane or lane,
+            "execute",
+            start=exec_start,
+            end=r.completed_at,
+            trace_id=ctx.trace_id,
+            parent=root,
+            kind="execute",
+            job=ctx.job_id,
+            device=ctx.device,
+            attempts=ctx.attempts,
+        )
+        # chaos-path detail rides as children so retries and accelerator
+        # fallbacks are visible in the tree, not just as attributes
+        if ctx.attempts:
+            self._add(
+                execute.lane,
+                "retry",
+                start=exec_start,
+                end=exec_start,
+                trace_id=ctx.trace_id,
+                parent=execute,
+                kind="retry",
+                attempts=ctx.attempts,
+            )
+        if ctx.fell_back:
+            self._add(
+                execute.lane,
+                "sw.fallback",
+                start=exec_start,
+                end=exec_start,
+                trace_id=ctx.trace_id,
+                parent=execute,
+                kind="sw.fallback",
+            )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report_block(self) -> Dict[str, Any]:
+        """The canonical ``tracing`` block of the ServingReport."""
+        return {
+            "sample_every": self.config.sample_every,
+            "sampled_traces": self.sampled_traces,
+            "violation_upgrades": self.violation_upgrades,
+            "requests_analyzed": self.analyzer.recorded,
+            "spans": self.spans_emitted,
+            "breakdown": self.analyzer.breakdown(),
+            "top_slowest": self.analyzer.top_slowest(),
+        }

@@ -26,7 +26,6 @@ from repro.sim.process import (
     spawn,
 )
 from repro.sim.resources import PriorityResource, Request, Resource, Store
-from repro.sim.trace import Span, Tracer, render_timeline
 from repro.sim.stats import (
     Counter,
     Histogram,
@@ -34,6 +33,12 @@ from repro.sim.stats import (
     StatRegistry,
     TimeWeighted,
 )
+
+# The tracer lives in repro.telemetry.tracing (one span type, one export
+# path); re-exported here for compatibility and because lane tracing is
+# conceptually part of the kernel's observability surface.  The module
+# is stdlib-only, so this import cannot cycle back into repro.sim.
+from repro.telemetry.tracing import Span, Tracer, render_timeline
 
 __all__ = [
     "AllOf",

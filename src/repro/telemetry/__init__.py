@@ -7,8 +7,11 @@ layer of the simulated machine shares:
 
 - :class:`Telemetry` -- one hub per machine owning the
   :class:`~repro.sim.stats.StatRegistry`, the
-  :class:`~repro.sim.trace.Tracer` and the structured
+  :class:`~repro.telemetry.tracing.Tracer` and the structured
   :class:`~repro.telemetry.events.EventLog`,
+- :mod:`repro.telemetry.tracing` -- the unified span type: lane spans
+  for device occupancy plus parent-linked causal spans for request
+  traces (:func:`validate_span_tree` is the structural contract),
 - :mod:`repro.telemetry.wiring` -- ``attach_*`` helpers that route the
   interconnect, memory, fabric, kernel and runtime layers into one hub,
 - :mod:`repro.telemetry.exporters` -- Chrome/Perfetto trace JSON, flat
@@ -44,6 +47,12 @@ from repro.telemetry.quantiles import (
     mean,
     percentile,
 )
+from repro.telemetry.tracing import (
+    Span,
+    Tracer,
+    render_timeline,
+    validate_span_tree,
+)
 from repro.telemetry.wiring import (
     attach_engine,
     attach_fabric,
@@ -61,9 +70,11 @@ __all__ = [
     "EventLog",
     "NULL",
     "NullTelemetry",
+    "Span",
     "StreamingQuantile",
     "Telemetry",
     "TelemetryEvent",
+    "Tracer",
     "attach_engine",
     "attach_fabric",
     "attach_link",
@@ -82,8 +93,10 @@ __all__ = [
     "metrics_snapshot",
     "percentile",
     "prometheus_text",
+    "render_timeline",
     "snapshot_csv",
     "snapshot_json",
     "validate_chrome_trace",
     "validate_event",
+    "validate_span_tree",
 ]

@@ -23,49 +23,67 @@ from repro.telemetry.hub import Telemetry
 def chrome_trace(hub: Telemetry, include_events: bool = True) -> Dict[str, Any]:
     """The run as a Chrome ``traceEvents`` document (dict form).
 
-    Spans become complete ("X") slices, one integer ``tid`` per lane
-    (with ``thread_name`` metadata, which is what Perfetto keys on);
-    structured events become instant ("i") markers on their component's
+    Spans become complete ("X") slices.  Lanes are grouped into
+    Perfetto *processes* by their first dot-segment (``node0.w3`` →
+    process ``node0``, thread ``node0.w3``; ``serve.interactive`` →
+    process ``serve``), each announced with ``process_name`` /
+    ``thread_name`` metadata records so the UI shows human-readable
+    names instead of bare ids.  Causal spans carry their ``trace_id`` /
+    ``kind`` / attributes in ``args`` so request trees are clickable.
+    Structured events become instant ("i") markers on their component's
     lane.  Timestamps convert from simulated ns to trace µs.
     """
     events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
     tids: Dict[str, int] = {}
 
-    def tid_for(lane: str) -> int:
+    def pid_for(prefix: str) -> int:
+        if prefix not in pids:
+            pids[prefix] = len(pids) + 1
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[prefix],
+                    "tid": 0,
+                    "args": {"name": prefix},
+                }
+            )
+        return pids[prefix]
+
+    def ids_for(lane: str) -> Dict[str, int]:
         if lane not in tids:
+            pid = pid_for(lane.split(".", 1)[0])
             tids[lane] = len(tids) + 1
             events.append(
                 {
                     "name": "thread_name",
                     "ph": "M",
-                    "pid": 0,
+                    "pid": pid,
                     "tid": tids[lane],
                     "args": {"name": lane},
                 }
             )
-        return tids[lane]
+        return {"pid": pid_for(lane.split(".", 1)[0]), "tid": tids[lane]}
 
-    events.append(
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": 0,
-            "args": {"name": "repro simulated machine"},
-        }
-    )
     for s in hub.tracer.closed_spans():
-        events.append(
-            {
-                "name": s.name,
-                "cat": "sim",
-                "ph": "X",
-                "ts": s.start / 1000.0,
-                "dur": (s.duration or 0.0) / 1000.0,
-                "pid": 0,
-                "tid": tid_for(s.lane),
+        entry: Dict[str, Any] = {
+            "name": s.name,
+            "cat": "trace" if s.trace_id is not None else "sim",
+            "ph": "X",
+            "ts": s.start / 1000.0,
+            "dur": (s.duration or 0.0) / 1000.0,
+            **ids_for(s.lane),
+        }
+        if s.trace_id is not None:
+            entry["args"] = {
+                "trace_id": s.trace_id,
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+                "kind": s.kind,
+                **s.attrs,
             }
-        )
+        events.append(entry)
     if include_events:
         for e in hub.events:
             events.append(
@@ -75,8 +93,7 @@ def chrome_trace(hub: Telemetry, include_events: bool = True) -> Dict[str, Any]:
                     "ph": "i",
                     "s": "t",
                     "ts": e.ts / 1000.0,
-                    "pid": 0,
-                    "tid": tid_for(e.component),
+                    **ids_for(e.component),
                     "args": dict(e.attrs),
                 }
             )

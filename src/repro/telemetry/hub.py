@@ -6,8 +6,8 @@ for a simulated machine:
 - the **metrics registry** (:class:`~repro.sim.stats.StatRegistry`):
   counters, time-weighted gauges, monitors and histograms, shared by
   every layer (interconnect, memory, fabric, runtime),
-- the **tracer** (:class:`~repro.sim.trace.Tracer`): begin/end spans on
-  per-component lanes,
+- the **tracer** (:class:`~repro.telemetry.tracing.Tracer`): begin/end
+  spans on per-component lanes plus causal request-span trees,
 - the **event log** (:class:`~repro.telemetry.events.EventLog`): typed
   events with simulated timestamps and attributes.
 
@@ -28,7 +28,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.stats import Counter, Histogram, Monitor, StatRegistry, TimeWeighted
-from repro.sim.trace import Span, Tracer
+from repro.telemetry.tracing import Span, Tracer
 from repro.telemetry.events import EventLog, TelemetryEvent
 
 #: A collector polls one component's internal counters into the shared

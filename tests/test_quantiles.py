@@ -119,6 +119,24 @@ class TestStreamingQuantile:
         # within a few percent of the exact sample percentile
         assert abs(sq.value - exact) / exact < 0.05
 
+    def test_single_sample_is_that_sample(self):
+        sq = StreamingQuantile(0.99)
+        sq.record(42.0)
+        assert sq.count == 1
+        assert sq.value == 42.0
+
+    def test_exact_to_estimator_handoff_at_small_n(self):
+        # below the five-marker threshold the value is the exact sample
+        # percentile; from the sixth sample on the P^2 markers take over
+        # and must stay inside the observed range
+        stream = [9.0, 2.0, 7.0, 4.0, 11.0]
+        sq = StreamingQuantile(0.5)
+        for i, v in enumerate(stream):
+            sq.record(v)
+            assert sq.value == percentile(stream[: i + 1], 50.0)
+        sq.record(5.0)
+        assert min(stream + [5.0]) <= sq.value <= max(stream + [5.0])
+
 
 class TestLatencySummary:
     def test_empty_all_zero(self):
@@ -140,6 +158,55 @@ class TestLatencySummary:
     def test_fractional_percentile_label(self):
         s = latency_summary([1.0, 2.0], percentiles=(99.9,))
         assert "p99_9" in s
+
+
+class TestBurnRateWindows:
+    """The sliding burn-rate windows the SLO alerter builds on: edge
+    cases (empty, single sample) and replayed-stream determinism."""
+
+    def make(self, window_ns=100.0, threshold=5.0):
+        from repro.serving.alerts import _WindowState
+
+        return _WindowState(window_ns, threshold)
+
+    def test_empty_window_burn_is_zero(self):
+        assert self.make().burn(budget=0.05) == 0.0
+
+    def test_single_sample(self):
+        w = self.make()
+        w.observe(0.0, True)
+        assert len(w.samples) == 1
+        assert w.burn(budget=0.1) == pytest.approx(10.0)  # rate 1 / 0.1
+
+    def test_boundary_sample_is_pruned(self):
+        w = self.make(window_ns=100.0)
+        w.observe(0.0, True)
+        w.observe(100.0, False)          # ts - window == 0.0: pruned
+        assert w.violations == 0
+        assert len(w.samples) == 1
+
+    def test_replayed_stream_is_deterministic(self):
+        from repro.serving.alerts import BurnRateAlerter, BurnRatePolicy
+
+        rng = random.Random("burn-replay")
+        stream = [
+            (float(i), "t", rng.uniform(0.0, 200.0), 100.0)
+            for i in range(300)
+        ]
+
+        def run():
+            a = BurnRateAlerter(BurnRatePolicy(
+                target=0.9, fast_window_ns=20.0, fast_burn=5.0,
+                slow_window_ns=120.0, slow_burn=2.0, min_completions=5,
+            ))
+            for ts, tenant, latency, slo in stream:
+                a.observe(ts, tenant, latency, slo)
+            return a.timeline
+
+        first, second = run(), run()
+        assert first == second
+        assert any(e["event"] == "fire" for e in first)
+        assert any(e["event"] == "clear" for e in first)
 
 
 class TestSharedAdoption:

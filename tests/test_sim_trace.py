@@ -1,10 +1,9 @@
-"""Unit tests for the tracer and timeline rendering."""
-
-import json
+"""Unit tests for the unified tracer: lanes, causal spans, rendering."""
 
 import pytest
 
 from repro.sim import Simulator, Tracer, Timeout, render_timeline, spawn
+from repro.telemetry import Telemetry, chrome_trace, validate_chrome_trace, validate_span_tree
 
 
 def traced_run():
@@ -88,9 +87,85 @@ def test_render_empty():
 
 
 def test_chrome_trace_export():
+    # the single export path: spans go out through the hub exporter
     sim, tracer = traced_run()
-    payload = json.loads(tracer.to_chrome_trace())
-    events = payload["traceEvents"]
-    assert len(events) == 2
-    assert events[0]["ph"] == "X"
-    assert events[0]["tid"] in ("w0", "w1")
+    hub = Telemetry(sim)
+    hub.tracer = tracer
+    payload = chrome_trace(hub, include_events=False)
+    validate_chrome_trace(payload)
+    slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == 2
+    thread_names = {
+        e["args"]["name"]
+        for e in payload["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert thread_names == {"w0", "w1"}
+
+
+# ----------------------------------------------------------------------
+# causal surface
+# ----------------------------------------------------------------------
+def test_causal_spans_form_a_tree():
+    tracer = Tracer(Simulator())
+    root = tracer.add("serve.a", "request#0", start=0.0, end=50.0,
+                      trace_id=7, kind="request", tenant="a")
+    child = tracer.add("serve.a", "batch.wait", start=0.0, end=10.0,
+                       trace_id=7, parent=root, kind="batch.wait")
+    leaf = tracer.add("node0.w0", "execute", start=10.0, end=50.0,
+                      trace_id=7, parent=child, kind="execute")
+    assert root.parent_id is None
+    assert child.parent_id == root.span_id
+    assert leaf.parent_id == child.span_id
+    assert tracer.trace_ids() == [7]
+    assert len(tracer.trace_spans(7)) == 3
+    assert validate_span_tree(tracer.spans) == 1
+
+
+def test_span_ids_are_emission_ordered():
+    tracer = Tracer(Simulator())
+    a = tracer.add("l", "a", start=0.0, end=1.0, trace_id=1)
+    b = tracer.add("l", "b", start=0.0, end=1.0, trace_id=2)
+    assert (a.span_id, b.span_id) == (0, 1)
+
+
+def test_finish_closes_open_causal_span():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    span = tracer.add("l", "open", start=0.0, trace_id=1)
+    tracer.finish(span, end=25.0)
+    assert span.duration == 25.0
+    assert validate_span_tree(tracer.spans) == 1
+
+
+def test_validate_rejects_two_roots():
+    tracer = Tracer(Simulator())
+    tracer.add("l", "r1", start=0.0, end=1.0, trace_id=1)
+    tracer.add("l", "r2", start=0.0, end=1.0, trace_id=1)
+    with pytest.raises(ValueError, match="2 roots"):
+        validate_span_tree(tracer.spans)
+
+
+def test_validate_rejects_cross_trace_parent():
+    tracer = Tracer(Simulator())
+    other = tracer.add("l", "root", start=0.0, end=1.0, trace_id=1)
+    tracer.add("l", "root", start=0.0, end=2.0, trace_id=2)
+    tracer.add("l", "kid", start=0.0, end=1.0, trace_id=2, parent=other)
+    with pytest.raises(ValueError, match="outside the trace"):
+        validate_span_tree(tracer.spans)
+
+
+def test_validate_rejects_unclosed_and_backwards_spans():
+    tracer = Tracer(Simulator())
+    tracer.add("l", "open", start=0.0, trace_id=1)
+    with pytest.raises(ValueError, match="never closed"):
+        validate_span_tree(tracer.spans)
+    tracer2 = Tracer(Simulator())
+    tracer2.add("l", "rewind", start=5.0, end=1.0, trace_id=1)
+    with pytest.raises(ValueError, match="ends before"):
+        validate_span_tree(tracer2.spans)
+
+
+def test_validate_ignores_plain_lane_spans():
+    sim, tracer = traced_run()
+    assert validate_span_tree(tracer.spans) == 0
