@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.chaos.domains import DomainChaosConfig, DomainTree, FailureDomain, TIERS
 from repro.interconnect.link import Link, LinkFault
 from repro.mpi.comm import Communicator, MessageFaults
 from repro.sim import Simulator
@@ -61,7 +62,7 @@ class PlannedFault:
     """One scheduled fault: what, where, when (plus its apply thunk)."""
 
     at_ns: float
-    layer: str          # "worker" | "link" | "mpi"
+    layer: str          # "worker" | "link" | "mpi" | "domain"
     kind: str           # "crash-stop" | "transient" | "degrade" | "restore" | "lossy"
     target: str
     params: Dict[str, Any] = field(default_factory=dict)
@@ -87,6 +88,14 @@ class ChaosController:
         self.plan: List[PlannedFault] = []
         self.injected: List[Dict[str, Any]] = []
         self._armed = False
+        # opt-in: a ServingGateway attached here is told to enter/exit
+        # brownout around domain outages (degraded-mode serving while
+        # the machine restores); None keeps chaos serving-agnostic
+        self.gateway = None
+
+    def attach_gateway(self, gateway) -> None:
+        """Route domain-outage brownout signals into ``gateway``."""
+        self.gateway = gateway
 
     # ------------------------------------------------------------------
     def _rng(self, stream: str) -> random.Random:
@@ -243,9 +252,103 @@ class ChaosController:
             )
         return fault
 
+    def fail_domain(
+        self,
+        engine,
+        domain: FailureDomain,
+        at_ns: float,
+        downtime_ns: Optional[float] = None,
+    ) -> PlannedFault:
+        """One correlated fault: every Worker under ``domain`` crashes at
+        ``at_ns`` in a single event (shared blade/rack/PSU going down).
+        ``downtime_ns`` makes the outage transient -- the whole subtree
+        heals and rejoins together.  An attached gateway (see
+        :meth:`attach_gateway`) is browned out for the outage."""
+        transient = downtime_ns is not None
+        workers = list(domain.workers)
+        params: Dict[str, Any] = {"tier": domain.tier, "workers": workers}
+        if transient:
+            params["downtime_ns"] = downtime_ns
+
+        def apply() -> None:
+            if self.gateway is not None:
+                self.gateway.enter_brownout(f"domain:{domain.name}")
+            for w in workers:
+                engine.crash_worker(w, permanent=not transient)
+
+        fault = self._add(
+            PlannedFault(
+                at_ns=at_ns,
+                layer="domain",
+                kind="transient" if transient else "crash-stop",
+                target=domain.name,
+                params=params,
+                apply=apply,
+            )
+        )
+        if transient:
+            def restore() -> None:
+                for w in workers:
+                    engine.recover_worker(w)
+                if self.gateway is not None:
+                    self.gateway.exit_brownout()
+
+            self._add(
+                PlannedFault(
+                    at_ns=at_ns + downtime_ns,
+                    layer="domain",
+                    kind="restore",
+                    target=domain.name,
+                    params={"tier": domain.tier, "workers": workers},
+                    apply=restore,
+                )
+            )
+        return fault
+
     # ------------------------------------------------------------------
     # seeded-random plan generation
     # ------------------------------------------------------------------
+    def schedule_domain_random(
+        self,
+        engine,
+        tree: DomainTree,
+        config: DomainChaosConfig = DomainChaosConfig(),
+    ) -> List[PlannedFault]:
+        """A seeded correlated-failure plan over an enclosure tree.
+
+        Each tier with an MTBF draws one exponential time-to-failure per
+        domain from a dedicated ``domain:<name>`` RNG stream; draws
+        landing inside the window become faults, earliest-first up to
+        ``config.max_failures``.  Never takes the *whole* machine down
+        permanently: with no downtime configured, candidate faults that
+        would leave zero live Workers are dropped from the plan."""
+        start, end = config.window_ns
+        candidates: List[tuple] = []
+        for tier in TIERS:
+            mtbf = config.mtbf_for(tier)
+            if mtbf is None:
+                continue
+            for domain in tree.domains(tier):
+                rng = self._rng(f"domain:{domain.name}")
+                at = start + rng.expovariate(1.0 / mtbf)
+                if at <= end:
+                    candidates.append((at, TIERS.index(tier), domain.name, domain))
+        candidates.sort(key=lambda c: (c[0], c[1], c[2]))
+        planned: List[PlannedFault] = []
+        dead: set = set()
+        num_workers = len(engine.schedulers)
+        for at, _, _, domain in candidates[: config.max_failures]:
+            if config.downtime_ns is None:
+                if len(dead | set(domain.workers)) >= num_workers:
+                    continue            # would kill the last survivor for good
+                dead |= set(domain.workers)
+            planned.append(
+                self.fail_domain(
+                    engine, domain, at_ns=at, downtime_ns=config.downtime_ns
+                )
+            )
+        return planned
+
     def schedule_random(
         self,
         engine,

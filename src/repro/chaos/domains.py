@@ -1,0 +1,186 @@
+"""Correlated failure domains: the enclosure structure chaos ignores.
+
+Failures in a multi-FPGA rack are not independent: Workers share blades,
+blades share racks, racks share PSUs, and one blown supply or enclosure
+fault takes the whole subtree down at once (the ExaNeSt prototype's
+field experience).  This module gives the chaos layer that structure:
+
+- :class:`FailureDomain` -- one node of the enclosure tree: a tier
+  (``node`` | ``blade`` | ``rack`` | ``psu``), the Worker ids under it,
+  and its parent domain,
+- :class:`DomainTree` -- the whole tree over one machine's Workers,
+  built deterministically from fan-out knobs
+  (:func:`build_domain_tree`),
+- :class:`DomainChaosConfig` -- per-tier MTBF knobs for the seeded
+  generator: a tier with an MTBF draws exponential failure times per
+  domain; tiers left at ``None`` never fail.
+
+The tree itself is pure data; :meth:`ChaosController.fail_domain
+<repro.chaos.controller.ChaosController.fail_domain>` turns one domain
+plus a timestamp into a single correlated fault event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+#: tier names, leaf to root -- index = depth of correlation
+TIERS = ("node", "blade", "rack", "psu")
+
+
+@dataclass(frozen=True)
+class FailureDomain:
+    """One enclosure-tree node: every Worker under it fails together."""
+
+    name: str                   # e.g. "rack0"
+    tier: str                   # one of TIERS
+    workers: Tuple[int, ...]    # member Worker ids, ascending
+    parent: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise ValueError(f"unknown tier {self.tier!r}; choose from {TIERS}")
+        if not self.workers:
+            raise ValueError(f"domain {self.name!r} has no workers")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "tier": self.tier,
+            "workers": list(self.workers),
+            "parent": self.parent,
+        }
+
+
+class DomainTree:
+    """The enclosure tree over one machine's Workers."""
+
+    def __init__(self, domains: List[FailureDomain]) -> None:
+        self._by_name: Dict[str, FailureDomain] = {}
+        for d in domains:
+            if d.name in self._by_name:
+                raise ValueError(f"duplicate domain name {d.name!r}")
+            self._by_name[d.name] = d
+
+    def domain(self, name: str) -> FailureDomain:
+        if name not in self._by_name:
+            known = ", ".join(sorted(self._by_name))
+            raise KeyError(f"unknown domain {name!r}; choose from: {known}")
+        return self._by_name[name]
+
+    def domains(self, tier: Optional[str] = None) -> List[FailureDomain]:
+        """Domains (of one tier), deterministically ordered by name."""
+        out = [
+            d for d in self._by_name.values()
+            if tier is None or d.tier == tier
+        ]
+        out.sort(key=lambda d: (TIERS.index(d.tier), d.workers[0], d.name))
+        return out
+
+    def members(self, name: str) -> List[int]:
+        return list(self.domain(name).workers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "domains": [d.to_dict() for d in self.domains()],
+        }
+
+
+def build_domain_tree(
+    num_workers: int,
+    workers_per_blade: int = 2,
+    blades_per_rack: int = 2,
+    racks_per_psu: int = 2,
+) -> DomainTree:
+    """The deterministic enclosure tree for ``num_workers`` Workers.
+
+    Workers fill blades in id order, blades fill racks, racks share
+    PSUs; the trailing blade/rack/PSU may be partially populated.  A
+    tier collapses away when it would only ever mirror the tier below
+    (e.g. one blade per rack on a 2-Worker board still gets its rack,
+    because killing the rack *is* the interesting correlated event).
+    """
+    if num_workers < 1:
+        raise ValueError("need at least one worker")
+    if min(workers_per_blade, blades_per_rack, racks_per_psu) < 1:
+        raise ValueError("fan-outs must be positive")
+    domains: List[FailureDomain] = []
+
+    blades: List[Tuple[int, ...]] = []
+    for b in range(0, num_workers, workers_per_blade):
+        blades.append(tuple(range(b, min(b + workers_per_blade, num_workers))))
+    racks: List[Tuple[int, ...]] = []
+    for r in range(0, len(blades), blades_per_rack):
+        group = blades[r:r + blades_per_rack]
+        racks.append(tuple(w for blade in group for w in blade))
+    psus: List[Tuple[int, ...]] = []
+    for p in range(0, len(racks), racks_per_psu):
+        group = racks[p:p + racks_per_psu]
+        psus.append(tuple(w for rack in group for w in rack))
+
+    for i, workers in enumerate(psus):
+        domains.append(FailureDomain(f"psu{i}", "psu", workers))
+    for i, workers in enumerate(racks):
+        parent = f"psu{i // racks_per_psu}"
+        domains.append(FailureDomain(f"rack{i}", "rack", workers, parent))
+    for i, workers in enumerate(blades):
+        parent = f"rack{i // blades_per_rack}"
+        domains.append(FailureDomain(f"blade{i}", "blade", workers, parent))
+    for w in range(num_workers):
+        parent = f"blade{w // workers_per_blade}"
+        domains.append(FailureDomain(f"node{w}", "node", (w,), parent))
+    return DomainTree(domains)
+
+
+@dataclass(frozen=True)
+class DomainChaosConfig:
+    """Knobs of the seeded correlated-failure generator.
+
+    Each tier with an MTBF draws one exponential failure time per
+    domain of that tier (dedicated per-domain RNG streams, so the plan
+    is independent of iteration order); draws landing inside
+    ``window_ns`` become correlated faults.  ``max_failures`` caps the
+    plan at the earliest events so a short window cannot flatten the
+    whole machine.
+    """
+
+    workers_per_blade: int = 2
+    blades_per_rack: int = 2
+    racks_per_psu: int = 2
+    node_mtbf_ns: Optional[float] = None
+    blade_mtbf_ns: Optional[float] = None
+    rack_mtbf_ns: Optional[float] = None
+    psu_mtbf_ns: Optional[float] = None
+    downtime_ns: Optional[float] = 400_000.0   # None = permanent
+    window_ns: Tuple[float, float] = (100_000.0, 500_000.0)
+    max_failures: int = 4
+
+    def __post_init__(self) -> None:
+        if min(self.workers_per_blade, self.blades_per_rack, self.racks_per_psu) < 1:
+            raise ValueError("fan-outs must be positive")
+        for mtbf in (self.node_mtbf_ns, self.blade_mtbf_ns,
+                     self.rack_mtbf_ns, self.psu_mtbf_ns):
+            if mtbf is not None and mtbf <= 0:
+                raise ValueError("MTBF must be positive (or None)")
+        if self.downtime_ns is not None and self.downtime_ns <= 0:
+            raise ValueError("downtime must be positive (or None)")
+        start, end = self.window_ns
+        if start < 0 or end < start:
+            raise ValueError(f"invalid injection window {self.window_ns}")
+        if self.max_failures < 0:
+            raise ValueError("max_failures must be non-negative")
+
+    def mtbf_for(self, tier: str) -> Optional[float]:
+        return {
+            "node": self.node_mtbf_ns,
+            "blade": self.blade_mtbf_ns,
+            "rack": self.rack_mtbf_ns,
+            "psu": self.psu_mtbf_ns,
+        }[tier]

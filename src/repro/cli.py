@@ -10,6 +10,8 @@ Commands:
 - ``metrics``     run a preset with telemetry, dump the metrics snapshot,
 - ``experiment``  run one DESIGN.md experiment's bench and print its tables,
 - ``chaos``       inject faults into a run and verify the runtime self-heals,
+- ``checkpoint``  snapshot/restore survival: save, restore, ls, correlated
+                  kill-and-restore experiment, MTBF x interval Daly sweep,
 - ``jobs``        run a multi-tenant job mix and report per-job outcomes,
 - ``serve``       open-loop request serving with admission control, dynamic
                   batching and SLO-driven elastic reconfiguration,
@@ -280,6 +282,146 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print("  integrity         : OK -- all tasks completed despite faults")
         return 0
     print("  integrity         : FAILED -- tasks lost or workload mismatch")
+    return 1
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.chaos.checkpoint_experiment import (
+        restore_from_snapshot,
+        run_checkpoint_interval_sweep,
+        run_checkpoint_restore_experiment,
+        submit_workload,
+        workload_spec,
+        _build_machine,
+    )
+    from repro.core.runtime import FaultTolerancePolicy
+    from repro.core.runtime.checkpoint import (
+        CheckpointManager,
+        CheckpointPolicy,
+        SnapshotStore,
+    )
+
+    if args.action == "ls":
+        store = SnapshotStore(args.dir)
+        paths = store.list()
+        if not paths:
+            print(f"no snapshots under {args.dir}")
+            return 0
+        print("  seq   taken-at        jobs  done  file")
+        for path in paths:
+            s = store.load(path)
+            print(f"  {s.seq:>3d}  {s.taken_at_ns / 1e6:>9.3f} ms  "
+                  f"{len(s.jobs):>4d}  {s.tasks_completed:>4d}  {path.name}")
+        return 0
+
+    if args.action == "save":
+        print(f"compiling the kernel suite, checkpointing preset "
+              f"{args.preset!r} every {args.interval / 1e3:.0f} us...",
+              file=sys.stderr)
+        workload = workload_spec(args.preset, seed=args.seed)
+        _, _, _, manager = _build_machine(
+            workload,
+            fault_tolerance=FaultTolerancePolicy(),
+        )
+        submit_workload(manager, workload)
+        ckpt = CheckpointManager(
+            manager,
+            CheckpointPolicy(interval_ns=args.interval),
+            store=SnapshotStore(args.dir),
+            workload=workload,
+        )
+        ckpt.start()
+        if args.until is not None:
+            manager.sim.run(until=args.until)
+        else:
+            manager.run()
+        ckpt.stop()
+        print(f"  snapshots : {len(ckpt.snapshots)} written to {args.dir}")
+        for s in ckpt.snapshots:
+            print(f"    seq {s.seq} at {s.taken_at_ns / 1e6:.3f} ms "
+                  f"({s.tasks_completed} tasks done)")
+        return 0
+
+    if args.action == "restore":
+        store = SnapshotStore(args.dir)
+        snapshot = (
+            store.load(args.snapshot) if args.snapshot else store.load_latest()
+        )
+        if snapshot is None:
+            print(f"no snapshots under {args.dir}")
+            return 1
+        print(f"restoring seq {snapshot.seq} "
+              f"(taken at {snapshot.taken_at_ns / 1e6:.3f} ms, "
+              f"{snapshot.tasks_completed} tasks already done)...",
+              file=sys.stderr)
+        manager, handles = restore_from_snapshot(
+            snapshot, fault_tolerance=FaultTolerancePolicy()
+        )
+        report = manager.run()
+        if args.out:
+            _write_or_print(report.json(indent=2), args.out)
+        print(f"  resumed at       : {snapshot.taken_at_ns / 1e6:.3f} ms")
+        print(f"  finished at      : "
+              f"{manager.sim.now / 1e6:.3f} ms simulated")
+        for handle in handles:
+            outcome = report.job(handle.job_id)
+            print(f"  job {handle.job_id}: {handle.tasks_skipped} skipped, "
+                  f"{outcome.report.tasks - handle.tasks_skipped} replayed, "
+                  f"{outcome.report.tasks_unrecovered} unrecovered")
+        if report.tasks_unrecovered:
+            print(f"  WARNING: {report.tasks_unrecovered} unrecovered tasks")
+            return 1
+        return 0
+
+    if args.action == "experiment":
+        print(f"compiling the kernel suite, kill-and-restore on preset "
+              f"{args.preset!r} (domain {args.domain}, seed {args.seed})...",
+              file=sys.stderr)
+        report = run_checkpoint_restore_experiment(
+            args.preset,
+            seed=args.seed,
+            domain=args.domain,
+            store_dir=args.dir if args.dir != "checkpoints" else None,
+        )
+        if args.events_out:
+            _write_or_print(report.events_json(indent=2), args.events_out)
+        d = report.to_dict()
+        print(f"  baseline makespan : {report.baseline_makespan_ns / 1e6:.3f} ms "
+              f"({report.baseline_tasks} tasks)")
+        print(f"  domain killed     : {report.domain} "
+              f"(workers {report.domain_workers}) at "
+              f"{report.kill_ns / 1e6:.3f} ms, run abandoned at "
+              f"{report.abandoned_ns / 1e6:.3f} ms")
+        print(f"  recovery point    : seq {report.snapshot_seq} at "
+              f"{report.snapshot_at_ns / 1e6:.3f} ms "
+              f"({report.tasks_checkpointed} tasks checkpointed, "
+              f"{report.lost_window_ns / 1e6:.3f} ms of progress lost)")
+        print(f"  restored          : {d['restore']['tasks_replayed']} tasks "
+              f"replayed, finished at {report.restored_makespan_ns / 1e6:.3f} ms")
+        if report.integrity_ok:
+            print("  integrity         : OK -- every task checkpointed or replayed")
+            return 0
+        print("  integrity         : FAILED -- work lost across the restore")
+        return 1
+
+    # action == "sweep"
+    print(f"sweeping MTBF x checkpoint interval (seed {args.seed}, "
+          f"{args.trials} trials per cell)...", file=sys.stderr)
+    report = run_checkpoint_interval_sweep(seed=args.seed, trials=args.trials)
+    if args.out:
+        _write_or_print(report.events_json(indent=2), args.out)
+    print(f"  checkpoint cost : {report.checkpoint_cost_ns / 1e3:.1f} us "
+          f"(measured from a real run)" if report.measured_cost_ns
+          else f"  checkpoint cost : {report.checkpoint_cost_ns / 1e3:.1f} us")
+    print("  MTBF        daly-interval   best-factor   goodput(daly)  verdict")
+    for o in report.optima:
+        print(f"  {o['mtbf_ns'] / 1e6:>6.1f} ms  {o['daly_interval_ns'] / 1e3:>10.1f} us "
+              f"{o['best_factor']:>11.2f}x  {o['daly_goodput']:>12.4f}  "
+              f"{'OK' if o['within_one_step'] else 'OFF-OPTIMUM'}")
+    if report.daly_validated:
+        print("  Daly optimum validated: goodput peaks within one sweep step")
+        return 0
+    print("  Daly optimum NOT validated")
     return 1
 
 
@@ -558,6 +700,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events-out", default=None,
                    help="write the fault plan/injection JSON here")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "checkpoint",
+        help="checkpoint/restart: save, restore, ls, kill-and-restore, sweep",
+    )
+    p.add_argument("action",
+                   choices=("save", "restore", "ls", "experiment", "sweep"),
+                   help="save: checkpointed run -> snapshot dir; restore: "
+                        "resume from the latest snapshot; ls: list snapshots; "
+                        "experiment: kill a failure domain mid-run and "
+                        "restore; sweep: MTBF x interval Daly validation")
+    # keep in sync with repro.chaos.experiment.CHAOS_PRESETS (not imported
+    # here: parser construction must stay light for every subcommand)
+    p.add_argument("--preset", default="mini",
+                   choices=("mini", "board", "board-transient", "chassis"),
+                   help="chaos workload preset (save/experiment)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dir", default="checkpoints",
+                   help="snapshot directory (save/restore/ls)")
+    p.add_argument("--interval", type=float, default=100_000.0,
+                   help="checkpoint cadence in ns (save)")
+    p.add_argument("--until", type=float, default=None,
+                   help="abandon the run at this sim time in ns (save; "
+                        "default: run to completion)")
+    p.add_argument("--snapshot", default=None,
+                   help="explicit snapshot file to restore (default: latest)")
+    p.add_argument("--domain", default="rack0",
+                   help="failure domain to kill (experiment)")
+    p.add_argument("--trials", type=int, default=48,
+                   help="renewal trials per sweep cell (sweep)")
+    p.add_argument("--out", default=None,
+                   help="write the canonical report JSON here (restore/sweep)")
+    p.add_argument("--events-out", default=None,
+                   help="write the experiment verdict JSON here (experiment)")
+    p.set_defaults(fn=_cmd_checkpoint)
 
     p = sub.add_parser("jobs", help="multi-tenant job mix -> per-job reports")
     # keep in sync with repro.presets.JOB_PRESETS (not imported here:

@@ -16,6 +16,17 @@ Per Section 4.2:
   (:mod:`repro.core.runtime.models`).
 """
 
+from repro.core.runtime.checkpoint import (
+    SNAPSHOT_FORMAT_VERSION,
+    CheckpointManager,
+    CheckpointPolicy,
+    JobProgress,
+    Snapshot,
+    SnapshotStore,
+    daly_interval_ns,
+    restore_rngs,
+    young_interval_ns,
+)
 from repro.core.runtime.cluster_engine import ClusterEngine, ClusterRunReport
 from repro.core.runtime.daemon import DaemonStats, ReconfigurationDaemon
 from repro.core.runtime.distribution import DistributionPolicy, WorkDistributor
@@ -63,6 +74,8 @@ from repro.core.runtime.scheduler import WorkItem, WorkerScheduler
 
 __all__ = [
     "CallProfile",
+    "CheckpointManager",
+    "CheckpointPolicy",
     "ClusterEngine",
     "ClusterRunReport",
     "CounterSnapshot",
@@ -106,4 +119,12 @@ __all__ = [
     "JobRegistry",
     "JobState",
     "MachineReport",
+    # checkpoint/restart
+    "JobProgress",
+    "SNAPSHOT_FORMAT_VERSION",
+    "Snapshot",
+    "SnapshotStore",
+    "daly_interval_ns",
+    "restore_rngs",
+    "young_interval_ns",
 ]

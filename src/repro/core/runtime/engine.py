@@ -243,6 +243,14 @@ class ExecutionEngine:
         self.distributor.mark_up(worker_id)
         if self.supervisor is not None:
             self.supervisor.notify_recover(worker_id)
+        # re-queue anything stranded after the failure was already
+        # detected (a placement that landed on the dark Worker and woke
+        # its dying loop): drain_pending() only runs at detection time,
+        # so without this the item's done signal never fires
+        for item in scheduler.stranded:
+            if not item.done.triggered and not item.redispatched:
+                scheduler.resubmit(item)
+        scheduler.stranded = []
         if self._started:
             proc = self._scheduler_procs[worker_id]
             if not proc.alive:

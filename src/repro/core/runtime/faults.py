@@ -14,9 +14,13 @@ The fabric layer already survives broken *regions*
   reclaimed and resubmitted to survivors through the work distributor
   (which drops the failed Worker from the placement pool),
 - **bounded exponential backoff retry**: each re-dispatch waits
-  ``min(base * 2**(attempt-1), cap)``; tasks that exhaust
-  ``max_attempts`` are recorded unrecovered and their completion signal
-  fired with ``failed=True`` so a run always terminates,
+  ``min(base * 2**(attempt-1), cap)``, optionally scaled by a
+  seed-deterministic per-(task, attempt) jitter factor so correlated
+  failures do not retry in lockstep; tasks that exhaust
+  ``max_attempts`` -- or arrive while the machine-wide sliding-window
+  retry budget is spent -- are recorded unrecovered and their
+  completion signal fired with ``failed=True`` so a run always
+  terminates,
 - **speculative timeout retry** (optional): an in-flight task older than
   ``task_timeout_ns`` on a *live* Worker (e.g. stalled behind a dead
   link) is duplicated onto another Worker; the first completion wins.
@@ -27,8 +31,10 @@ the pre-fault-tolerance code path (the telemetry NULL-hub pattern).
 
 from __future__ import annotations
 
+import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import Deque, Dict, Generator, List, Optional
 
 from repro.core.runtime.scheduler import WorkItem
 from repro.sim import Timeout, spawn
@@ -45,6 +51,18 @@ class FaultTolerancePolicy:
     backoff_cap_ns: float = 200_000.0
     task_timeout_ns: Optional[float] = None   # None = no speculative retry
     recover_fabric: bool = True  # reload a dead Worker's modules elsewhere
+    # seed-deterministic backoff jitter: each retry waits the exponential
+    # base scaled by a factor drawn uniformly from [1-j, 1+j] out of a
+    # per-(task, attempt) RNG stream.  0.0 = the exact legacy schedule,
+    # so mass failures retry in lockstep (the storm this knob breaks up).
+    backoff_jitter: float = 0.0
+    # machine-wide retry budget: at most ``retry_budget`` re-dispatches
+    # per sliding ``retry_budget_window_ns`` across *all* tasks.  Over
+    # budget, a reclaimed task is recorded unrecovered instead of
+    # retried, so a correlated-failure storm degrades to bounded loss
+    # rather than livelocking the event loop.  None = unlimited.
+    retry_budget: Optional[int] = None
+    retry_budget_window_ns: float = 1_000_000.0
 
     def __post_init__(self) -> None:
         if self.heartbeat_period_ns <= 0:
@@ -57,10 +75,25 @@ class FaultTolerancePolicy:
             raise ValueError("backoff must be non-negative")
         if self.task_timeout_ns is not None and self.task_timeout_ns <= 0:
             raise ValueError("task timeout must be positive")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff jitter must be in [0, 1)")
+        if self.retry_budget is not None and self.retry_budget < 1:
+            raise ValueError("retry budget must be >= 1 (or None)")
+        if self.retry_budget_window_ns <= 0:
+            raise ValueError("retry budget window must be positive")
 
-    def backoff_ns(self, attempt: int) -> float:
-        """Bounded exponential backoff for retry number ``attempt`` (1-based)."""
-        return min(self.backoff_base_ns * (2 ** (attempt - 1)), self.backoff_cap_ns)
+    def backoff_ns(self, attempt: int, key: Optional[object] = None) -> float:
+        """Bounded exponential backoff for retry number ``attempt`` (1-based).
+
+        ``key`` (typically the task id) selects the jitter stream; string
+        seeding hashes via sha512, so the factor is stable across
+        processes -- same task, same attempt, same wait, every run.
+        """
+        base = min(self.backoff_base_ns * (2 ** (attempt - 1)), self.backoff_cap_ns)
+        if self.backoff_jitter <= 0.0 or key is None:
+            return base
+        u = random.Random(f"backoff:{key}:{attempt}").random()
+        return base * (1.0 + self.backoff_jitter * (2.0 * u - 1.0))
 
 
 @dataclass
@@ -111,7 +144,9 @@ class TaskSupervisor:
         self.speculative: List[WorkerFailureRecord] = []   # timeout retries
         self.unrecovered: List[WorkItem] = []
         self.tasks_retried = 0
+        self.retries_denied = 0        # budget-exhausted give-ups
         self.work_lost_ns = 0.0
+        self._retry_times: Deque[float] = deque()   # retry budget window
         self._misses: Dict[int, int] = {}
         self._open: Dict[int, WorkerFailureRecord] = {}   # detected, not rejoined
         self._running = True
@@ -212,12 +247,24 @@ class TaskSupervisor:
         if record.outstanding == 0:
             record.recovered_at = sim.now
 
+    def _budget_exhausted(self) -> bool:
+        """Sliding-window check of the machine-wide retry budget."""
+        budget = self.policy.retry_budget
+        if budget is None:
+            return False
+        now = self.engine.node.sim.now
+        cutoff = now - self.policy.retry_budget_window_ns
+        times = self._retry_times
+        while times and times[0] <= cutoff:
+            times.popleft()
+        return len(times) >= budget
+
     def _retry(self, item: WorkItem, record: WorkerFailureRecord) -> Generator:
         item.attempts += 1
         if item.attempts > self.policy.max_attempts - 1:
             self._give_up(item, record)
             return
-        yield Timeout(self.policy.backoff_ns(item.attempts))
+        yield Timeout(self.policy.backoff_ns(item.attempts, key=item.task.task_id))
         alive = [
             w for w in range(len(self.engine.schedulers))
             if w not in self.engine.distributor.down_workers
@@ -225,6 +272,20 @@ class TaskSupervisor:
         if not alive:
             self._give_up(item, record)
             return
+        if self._budget_exhausted():
+            self.retries_denied += 1
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "runtime.retry_budget_exhausted",
+                    f"{self.engine.node.name}.runtime",
+                    task=item.task.task_id,
+                    job=item.job_id,
+                    budget=self.policy.retry_budget,
+                    window_ns=self.policy.retry_budget_window_ns,
+                )
+            self._give_up(item, record)
+            return
+        self._retry_times.append(self.engine.node.sim.now)
         # re-place through the owning job's policy: retries preserve
         # tenant isolation (same job id, same decision rules)
         worker = self.engine.distributor.choose_worker(

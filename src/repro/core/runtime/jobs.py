@@ -178,6 +178,11 @@ class JobHandle:
     # the WorkItems this job dispatched, in dispatch order -- the serving
     # layer reads execution timing/device off them at completion time
     items: List["WorkItem"] = field(default_factory=list)
+    # checkpoint restore: graph indices already completed in a previous
+    # incarnation of this job -- the drivers skip them (dependences are
+    # treated as satisfied) and only the lost frontier is replayed
+    completed: frozenset = frozenset()
+    tasks_skipped: int = 0
 
     @property
     def finished(self) -> bool:
@@ -241,16 +246,23 @@ class JobManager:
         policy: Union[None, str, SchedulingPolicy] = None,
         priority: int = 1,
         dataflow: bool = False,
+        completed: Optional[frozenset] = None,
     ) -> JobHandle:
         """Admit one job onto the machine; returns its handle.
 
         ``policy`` may be a :class:`SchedulingPolicy` instance, a
         built-in policy name (``greedy-hw``, ``energy``, ``locality``),
         or ``None`` for the engine's default.  ``priority`` weights the
-        job's fair share of the machine's task slots.
+        job's fair share of the machine's task slots.  ``completed`` --
+        graph indices (positions in ``graph.tasks``) already finished in
+        a checkpointed earlier incarnation -- restricts dispatch to the
+        remaining tasks (checkpoint restore replays only lost work).
         """
         if priority < 1:
             raise ValueError(f"priority must be >= 1, got {priority}")
+        done_indices = frozenset(completed or ())
+        if done_indices and (min(done_indices) < 0 or max(done_indices) >= len(graph.tasks)):
+            raise ValueError("completed indices out of range for this graph")
         resolved = self._resolve_policy(policy)
         job_id = next(self._ids)
         record = self.engine.jobs.register(job_id, resolved, priority)
@@ -263,6 +275,7 @@ class JobManager:
             record=record,
             done=Signal(self.sim),
             submitted_at=self.sim.now,
+            completed=done_indices,
         )
         self.handles.append(handle)
         self._active += 1
@@ -359,16 +372,32 @@ class JobManager:
     def _layer_driver(self, job: JobHandle) -> Generator:
         """Dispatch layer by layer, honouring DAG dependences by barrier."""
         engine = self.engine
+        # restore path: map task identity -> graph index once, so layers
+        # can skip checkpoint-completed tasks (barrier only waits on
+        # what was actually dispatched)
+        skip = (
+            {
+                t.task_id
+                for i, t in enumerate(job.graph.tasks)
+                if i in job.completed
+            }
+            if job.completed
+            else frozenset()
+        )
         completed = 0
         for layer in job.graph.layers():
             items: List["WorkItem"] = []
             for task in layer:
+                if task.task_id in skip:
+                    job.tasks_skipped += 1
+                    continue
                 yield from self._admit(job)
                 item = engine.submit_task(task, job_id=job.job_id)
                 self._track(job, item)
                 items.append(item)
                 job.items.append(item)
-            yield AllOf([item.done for item in items])
+            if items:
+                yield AllOf([item.done for item in items])
             completed += len(items)
             if engine.retrain_every and engine.selector is not None:
                 if completed // engine.retrain_every != (
@@ -391,6 +420,15 @@ class JobManager:
         engine = self.engine
         done_signals: Dict[int, Signal] = {}
         items: List["WorkItem"] = []
+        skip = (
+            {
+                t.task_id
+                for i, t in enumerate(job.graph.tasks)
+                if i in job.completed
+            }
+            if job.completed
+            else frozenset()
+        )
 
         def watcher(task: "Task") -> Generator:
             deps = [done_signals[d] for d in task.deps]
@@ -404,9 +442,17 @@ class JobManager:
             result = yield item.done
             return result
 
+        def skipped(task: "Task") -> Generator:
+            # checkpoint-completed: no dispatch, dependences satisfied
+            # the moment the process starts (its done signal fires now)
+            job.tasks_skipped += 1
+            return
+            yield  # pragma: no cover - makes this a generator
+
         for task in job.graph.tasks:
+            gen = skipped(task) if task.task_id in skip else watcher(task)
             proc = spawn(
-                self.sim, watcher(task), name=f"dep.j{job.job_id}.{task.task_id}"
+                self.sim, gen, name=f"dep.j{job.job_id}.{task.task_id}"
             )
             done_signals[task.task_id] = proc.done
         yield AllOf([done_signals[t.task_id] for t in job.graph.tasks])

@@ -27,6 +27,7 @@ from repro.serving.alerts import BurnRateAlerter, BurnRatePolicy
 from repro.serving.arrivals import ARRIVAL_KINDS, arrival_process
 from repro.serving.autoscaler import Autoscaler, AutoscalerStats
 from repro.serving.batcher import DynamicBatcher
+from repro.serving.brownout import BROWNOUT, BrownoutController, BrownoutPolicy
 from repro.serving.gateway import (
     ServingGateway,
     ServingReport,
@@ -48,6 +49,9 @@ __all__ = [
     "AdmissionVerdict",
     "Autoscaler",
     "AutoscalerStats",
+    "BROWNOUT",
+    "BrownoutController",
+    "BrownoutPolicy",
     "BurnRateAlerter",
     "BurnRatePolicy",
     "CriticalPathAnalyzer",

@@ -182,6 +182,29 @@ class BurnRateAlerter:
                 tenant=tenant, window=window, burn=entry["burn"], event=event
             )
 
+    def note_degraded(self, active: bool, reason: Optional[str], ts: float) -> None:
+        """Brownout transition observer (wired as a gateway listener).
+
+        Lands on the same timeline as fire/clear entries so the alert
+        history shows which burns happened *inside* a degraded window --
+        an on-call reading the report can tell brownout fallout from
+        organic SLO misses.
+        """
+        entry = {
+            "ts": ts,
+            "tenant": "*",
+            "window": "degraded",
+            "burn": 0.0,
+            "event": "degraded-enter" if active else "degraded-exit",
+        }
+        if reason is not None:
+            entry["reason"] = reason
+        self.timeline.append(entry)
+        if self._emit is not None:
+            self._emit(
+                tenant="*", window="degraded", burn=0.0, event=entry["event"]
+            )
+
     # ------------------------------------------------------------------
     # consumer hooks
     # ------------------------------------------------------------------

@@ -99,6 +99,11 @@ class Autoscaler:
         # never wired automatically, so alerting stays observe-only by
         # default and traced runs do not perturb scaling decisions
         self.alert_source = None
+        # opt-in: point this at a BrownoutController (anything with an
+        # ``active`` attribute) and replica scale-ups pause while the
+        # machine is degraded -- scaling into a half-dead machine only
+        # burns reconfiguration time the restore needs
+        self.brownout_source = None
 
     def stop(self) -> None:
         self._running = False
@@ -181,6 +186,8 @@ class Autoscaler:
             if self._cooldown[fn] <= 0:
                 del self._cooldown[fn]
 
+        if self.brownout_source is not None and self.brownout_source.active:
+            return                       # degraded: hold replica scale-ups
         pressure = self._slo_pressure()
         if pressure:
             self.stats.slo_triggers += 1

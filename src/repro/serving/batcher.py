@@ -34,6 +34,10 @@ class DynamicBatcher:
         self.sim = gateway.sim
         self.max_batch = max_batch
         self.max_wait_ns = max_wait_ns
+        # opt-in deadline stretch: a callable returning the current
+        # max-wait multiplier (brownout sets this to lengthen deadlines
+        # while the machine is degraded).  None = the plain deadline.
+        self.wait_stretch = None
         self._buckets: Dict[BatchKey, List[Request]] = {}
         self._generation: Dict[BatchKey, int] = {}
         self.batches_flushed = 0
@@ -58,7 +62,10 @@ class DynamicBatcher:
             self._flush(key)
         elif len(bucket) == 1:
             gen = self._generation.get(key, 0)
-            self.sim.schedule(self.max_wait_ns, self._timer, key, gen)
+            wait = self.max_wait_ns
+            if self.wait_stretch is not None:
+                wait *= self.wait_stretch()
+            self.sim.schedule(wait, self._timer, key, gen)
 
     def _timer(self, key: BatchKey, gen: int) -> None:
         if self._generation.get(key, 0) != gen:

@@ -45,6 +45,7 @@ from repro.serving.admission import AdmissionController
 from repro.serving.alerts import BurnRateAlerter, BurnRatePolicy
 from repro.serving.arrivals import arrival_process
 from repro.serving.batcher import BatchKey, DynamicBatcher
+from repro.serving.brownout import BROWNOUT, BrownoutController, BrownoutPolicy
 from repro.serving.requests import Request
 from repro.serving.slo import SLOTracker
 from repro.serving.tracing import RequestTracer, TraceConfig
@@ -75,10 +76,11 @@ class ServingReport:
     machine: Dict[str, Any]
     chaos: Dict[str, Any] = field(default_factory=dict)
     # opt-in observability blocks: empty (and absent from the canonical
-    # JSON) unless request tracing / burn-rate alerting was enabled, so
-    # disabled-mode reports stay byte-identical to seed
+    # JSON) unless request tracing / burn-rate alerting / brownout was
+    # enabled, so disabled-mode reports stay byte-identical to seed
     tracing: Dict[str, Any] = field(default_factory=dict)
     alerts: Dict[str, Any] = field(default_factory=dict)
+    degraded: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def shed_rate(self) -> float:
@@ -109,6 +111,8 @@ class ServingReport:
             out["tracing"] = self.tracing
         if self.alerts:
             out["alerts"] = self.alerts
+        if self.degraded:
+            out["degraded"] = self.degraded
         return out
 
     def json(self, indent: Optional[int] = None) -> str:
@@ -128,6 +132,7 @@ class ServingGateway:
         telemetry=None,
         tracing: Optional[TraceConfig] = None,
         alerts: Optional[BurnRatePolicy] = None,
+        brownout: Optional[BrownoutPolicy] = None,
     ) -> None:
         self.engine = engine
         self.sim = engine.node.sim
@@ -192,6 +197,21 @@ class ServingGateway:
             cooldown_periods=scenario.cooldown_periods,
             telemetry=telemetry,
         )
+        # degraded-mode serving: only a configured policy creates the
+        # controller, so un-browned-out runs carry no extra state at all
+        if brownout is not None:
+            self.brownout: Optional[BrownoutController] = BrownoutController(
+                brownout,
+                self.sim,
+                telemetry=telemetry,
+                component=f"{engine.node.name}.brownout",
+            )
+            self.batcher.wait_stretch = self.brownout.wait_stretch
+            self.autoscaler.brownout_source = self.brownout
+            if self.alerter is not None:
+                self.brownout.listeners.append(self.alerter.note_degraded)
+        else:
+            self.brownout = None
         self._specs = {t.name: t for t in scenario.tenants}
         for t in scenario.tenants:
             self.slo.configure_tenant(t.name, t.slo_ns)
@@ -227,6 +247,26 @@ class ServingGateway:
                 request=request.request_id,
             )
         backlog = self.slo.tenant(request.tenant).outstanding
+        # brownout shedding sits *in front of* admission: while degraded,
+        # tenants below the priority floor never touch the token buckets,
+        # so the surviving capacity is reserved for the interactive tier
+        if self.brownout is not None and self.brownout.active:
+            spec = self._specs.get(request.tenant)
+            if self.brownout.should_shed(spec.priority if spec else 1):
+                request.shed_reason = BROWNOUT
+                self.slo.note_shed(request, BROWNOUT)
+                self.brownout.note_shed()
+                if self._emit_shed is not None:
+                    self._emit_shed(
+                        tenant=request.tenant,
+                        reason=BROWNOUT,
+                        backlog=backlog,
+                        request=request.request_id,
+                    )
+                if tracer is not None:
+                    tracer.on_verdict(request.trace, False, BROWNOUT, backlog)
+                    tracer.on_shed(request.trace)
+                return
         verdict = self.admission.admit(request, self.sim.now, backlog)
         if tracer is not None:
             tracer.on_verdict(
@@ -358,6 +398,19 @@ class ServingGateway:
         self._maybe_drain()
 
     # ------------------------------------------------------------------
+    # chaos-facing degraded-mode hooks (no-ops without a brownout policy)
+    # ------------------------------------------------------------------
+    def enter_brownout(self, reason: str) -> None:
+        """A failure domain went down: degrade until :meth:`exit_brownout`."""
+        if self.brownout is not None:
+            self.brownout.enter(reason)
+
+    def exit_brownout(self) -> None:
+        """The outage healed (or the restore finished): lift one latch."""
+        if self.brownout is not None:
+            self.brownout.exit()
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def _maybe_drain(self) -> None:
@@ -466,6 +519,11 @@ class ServingGateway:
             alerts=(
                 self.alerter.report_block() if self.alerter is not None else {}
             ),
+            degraded=(
+                self.brownout.report_block()
+                if self.brownout is not None
+                else {}
+            ),
         )
 
 
@@ -478,15 +536,22 @@ def run_serving_experiment(
     max_variants: int = 2,
     tracing: Optional[TraceConfig] = None,
     alerts: Optional[BurnRatePolicy] = None,
+    brownout: Optional[BrownoutPolicy] = None,
+    domain_kill: Optional[Tuple[str, float, Optional[float]]] = None,
 ) -> ServingReport:
     """Build a machine for ``preset`` and serve it end to end.
 
     ``crash`` is an optional ``(worker_id, at_ns, downtime_ns)`` chaos
     overlay (``downtime_ns=None`` makes the crash permanent); arm
     ``fault_tolerance`` alongside it or admitted requests will be lost.
-    ``tracing`` / ``alerts`` opt the run into request-scoped causal
-    tracing and burn-rate alerting (extra report blocks; the canonical
-    report without them is byte-identical to a plain run).
+    ``domain_kill`` is the correlated variant: ``(domain_name, at_ns,
+    downtime_ns)`` takes down every Worker in one failure domain of the
+    default tree at once, and (when ``brownout`` is set) drives the
+    gateway into degraded mode for the outage window.  ``tracing`` /
+    ``alerts`` / ``brownout`` opt the run into request-scoped causal
+    tracing, burn-rate alerting and degraded-mode serving (extra report
+    blocks; the canonical report without them is byte-identical to a
+    plain run).
     """
     from repro.core import ComputeNode
     from repro.core.runtime.engine import ExecutionEngine
@@ -513,6 +578,7 @@ def run_serving_experiment(
         telemetry=telemetry,
         tracing=tracing,
         alerts=alerts,
+        brownout=brownout,
     )
     chaos_block: Dict[str, Any] = {}
     if crash is not None:
@@ -524,6 +590,24 @@ def run_serving_experiment(
         controller.arm()
         chaos_block = {
             "worker": worker_id,
+            "at_ns": at_ns,
+            "downtime_ns": downtime_ns,
+        }
+    if domain_kill is not None:
+        from repro.chaos import ChaosController
+        from repro.chaos.domains import build_domain_tree
+
+        domain_name, at_ns, downtime_ns = domain_kill
+        tree = build_domain_tree(len(node.workers))
+        controller = ChaosController(sim, seed=seed, telemetry=telemetry)
+        controller.attach_gateway(gateway)
+        controller.fail_domain(
+            engine, tree.domain(domain_name), at_ns, downtime_ns=downtime_ns
+        )
+        controller.arm()
+        chaos_block = {
+            "domain": domain_name,
+            "workers": list(tree.members(domain_name)),
             "at_ns": at_ns,
             "downtime_ns": downtime_ns,
         }

@@ -230,6 +230,24 @@ class Simulator:
         if until is not None and until > self.now:
             self.now = until
 
+    def warp_to(self, time: float) -> None:
+        """Jump an *idle* simulator's clock forward (checkpoint restore).
+
+        A restored run resumes at the snapshot's simulated time, so the
+        replayed timeline lines up with the original one.  Only legal
+        before anything is scheduled: pending events would otherwise
+        fire "in the past" relative to the warped clock.
+        """
+        if self._running:
+            raise SimulationError("cannot warp a running simulator")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot warp backwards (t={time} < now={self.now})"
+            )
+        if self.peek() is not None:
+            raise SimulationError("cannot warp with events pending")
+        self.now = time
+
     @property
     def events_processed(self) -> int:
         """Total number of events fired since construction."""

@@ -1,0 +1,271 @@
+"""Simultaneous multi-worker crash coverage (correlated failures): the
+TaskSupervisor reclaiming overlapping in-flight sets, retry accounting
+under storms, speculative-retry races against later kills, seeded
+backoff jitter and the machine-wide retry budget."""
+
+import pytest
+
+from repro.apps import make_layered_dag
+from repro.chaos import ChaosController, build_domain_tree
+from repro.core import ComputeNode, ComputeNodeParams
+from repro.core.runtime import (
+    ExecutionEngine,
+    FaultTolerancePolicy,
+    JobManager,
+)
+from repro.presets import compiled_suite
+from repro.sim import Simulator
+
+FUNCTIONS = ("saxpy", "stencil5", "montecarlo")
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compiled_suite(max_variants=1)
+
+
+def build_engine(compiled, workers=4, ft=None):
+    registry, library = compiled
+    sim = Simulator()
+    node = ComputeNode(sim, ComputeNodeParams(num_workers=workers))
+    engine = ExecutionEngine(
+        node, registry, library, use_daemon=True, daemon_period_ns=100_000.0,
+        fault_tolerance=ft,
+    )
+    return sim, node, engine
+
+
+def graph_for(workers, layers=5, width=10, seed=5):
+    return make_layered_dag(
+        layers=layers, width=width, num_workers=workers,
+        functions=FUNCTIONS, seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# seeded backoff jitter (satellite: no lockstep retry storms)
+# ----------------------------------------------------------------------
+class TestBackoffJitter:
+    def test_zero_jitter_is_the_exact_legacy_schedule(self):
+        policy = FaultTolerancePolicy()
+        assert policy.backoff_ns(1, key="t0") == 10_000.0
+        assert policy.backoff_ns(2, key="t0") == 20_000.0
+        assert policy.backoff_ns(6, key="t0") == 200_000.0   # capped
+
+    def test_jitter_is_deterministic_per_task_and_attempt(self):
+        a = FaultTolerancePolicy(backoff_jitter=0.3)
+        b = FaultTolerancePolicy(backoff_jitter=0.3)
+        assert a.backoff_ns(2, key="task7") == b.backoff_ns(2, key="task7")
+        # different tasks (and different attempts) decorrelate
+        waits = {a.backoff_ns(2, key=f"task{i}") for i in range(8)}
+        assert len(waits) > 1
+        assert a.backoff_ns(1, key="task7") != pytest.approx(
+            a.backoff_ns(2, key="task7") / 2.0
+        )
+
+    def test_jitter_stays_within_the_band(self):
+        policy = FaultTolerancePolicy(backoff_jitter=0.25)
+        base = 20_000.0                     # attempt 2
+        for i in range(64):
+            wait = policy.backoff_ns(2, key=f"t{i}")
+            assert 0.75 * base <= wait <= 1.25 * base
+
+    def test_keyless_calls_skip_jitter(self):
+        policy = FaultTolerancePolicy(backoff_jitter=0.5)
+        assert policy.backoff_ns(1) == 10_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultTolerancePolicy(backoff_jitter=1.0)
+        with pytest.raises(ValueError):
+            FaultTolerancePolicy(backoff_jitter=-0.1)
+        with pytest.raises(ValueError):
+            FaultTolerancePolicy(retry_budget=0)
+        with pytest.raises(ValueError):
+            FaultTolerancePolicy(retry_budget_window_ns=0.0)
+
+    def test_jittered_run_is_deterministic_and_recovers(self, compiled):
+        def run_once():
+            ft = FaultTolerancePolicy(backoff_jitter=0.4)
+            sim, node, engine = build_engine(compiled, workers=3, ft=ft)
+            manager = JobManager(engine)
+            handle = manager.submit_job(graph_for(3))
+            ctrl = ChaosController(sim, seed=0)
+            ctrl.crash_worker(engine, 0, at_ns=40_000.0)
+            ctrl.arm()
+            report = manager.run()
+            return report, engine.supervisor, handle
+
+        r1, sup1, h1 = run_once()
+        r2, sup2, h2 = run_once()
+        assert r1.makespan_ns == r2.makespan_ns
+        assert sup1.tasks_retried == sup2.tasks_retried
+        assert r1.job(h1.job_id).report.tasks_unrecovered == 0
+
+
+# ----------------------------------------------------------------------
+# simultaneous multi-worker crashes (satellite 3)
+# ----------------------------------------------------------------------
+class TestSimultaneousCrashes:
+    def test_blade_kill_reclaims_both_workers_inflight_sets(self, compiled):
+        ft = FaultTolerancePolicy()
+        sim, node, engine = build_engine(compiled, workers=4, ft=ft)
+        manager = JobManager(engine)
+        handle = manager.submit_job(graph_for(4))
+        tree = build_domain_tree(4)
+        ctrl = ChaosController(sim, seed=0)
+        ctrl.fail_domain(engine, tree.domain("blade0"), at_ns=50_000.0)
+        ctrl.arm()
+        report = manager.run()
+        # the run finished on the two survivors with nothing lost
+        outcome = report.job(handle.job_id)
+        assert outcome.report.tasks_unrecovered == 0
+        assert handle.finished
+        sup = engine.supervisor
+        detected = [f for f in sup.failures if f.detected_at is not None]
+        assert {f.worker_id for f in detected} == {0, 1}
+        # both members were reclaimed: every re-dispatch is accounted for
+        redispatched = sum(f.tasks_redispatched for f in detected)
+        assert redispatched == sup.tasks_retried + len(sup.unrecovered)
+        assert sup.tasks_retried > 0
+
+    def test_two_independent_crashes_at_the_same_instant(self, compiled):
+        ft = FaultTolerancePolicy()
+        sim, node, engine = build_engine(compiled, workers=4, ft=ft)
+        manager = JobManager(engine)
+        handles = [
+            manager.submit_job(graph_for(4, seed=5), priority=2),
+            manager.submit_job(graph_for(4, seed=6), policy="energy"),
+        ]
+        ctrl = ChaosController(sim, seed=1)
+        ctrl.crash_worker(engine, 1, at_ns=60_000.0)
+        ctrl.crash_worker(engine, 2, at_ns=60_000.0)
+        ctrl.arm()
+        report = manager.run()
+        sup = engine.supervisor
+        for handle in handles:
+            assert report.job(handle.job_id).report.tasks_unrecovered == 0
+        # per-job retry accounting sums to the supervisor's global count
+        per_job = sum(
+            engine.jobs.record(h.job_id).tasks_retried for h in handles
+        )
+        assert per_job == sup.tasks_retried
+
+    def test_whole_rack_dies_survivors_finish(self, compiled):
+        ft = FaultTolerancePolicy()
+        sim, node, engine = build_engine(compiled, workers=8, ft=ft)
+        manager = JobManager(engine)
+        handle = manager.submit_job(graph_for(8))
+        tree = build_domain_tree(8)
+        ctrl = ChaosController(sim, seed=2)
+        # rack0 = workers 0-3; rack1 survives and absorbs the work
+        ctrl.fail_domain(engine, tree.domain("rack0"), at_ns=70_000.0,
+                         downtime_ns=150_000.0)
+        ctrl.arm()
+        report = manager.run()
+        assert report.job(handle.job_id).report.tasks_unrecovered == 0
+        # the transient subtree rejoined as one correlated group
+        rejoined = [f.rejoined_at for f in engine.supervisor.failures]
+        assert rejoined and all(t == 220_000.0 for t in rejoined)
+
+    def test_full_machine_outage_heals_and_terminates(self, compiled):
+        # every Worker dark at once: tasks reclaimed during the outage
+        # are recorded unrecovered (no survivors to retry on), anything
+        # stranded on a dark queue runs after the heal, and the run
+        # terminates instead of livelocking
+        ft = FaultTolerancePolicy()
+        sim, node, engine = build_engine(compiled, workers=4, ft=ft)
+        manager = JobManager(engine)
+        handle = manager.submit_job(graph_for(4))
+        tree = build_domain_tree(4)
+        ctrl = ChaosController(sim, seed=2)
+        ctrl.fail_domain(engine, tree.domain("rack0"), at_ns=70_000.0,
+                         downtime_ns=150_000.0)
+        ctrl.arm()
+        report = manager.run()
+        assert handle.finished
+        outcome = report.job(handle.job_id)
+        # bounded loss, full accounting: every task either ran or was
+        # recorded as given up while the machine was dark
+        assert outcome.report.tasks_unrecovered == len(
+            engine.supervisor.unrecovered
+        )
+        done = sum(1 for item in handle.items if item.done.triggered)
+        assert done == len(handle.items)
+        assert report.makespan_ns > 220_000.0      # work resumed post-heal
+
+
+# ----------------------------------------------------------------------
+# speculative-retry races against later kills (satellite 3)
+# ----------------------------------------------------------------------
+class TestSpeculativeRaces:
+    def test_speculative_duplicate_then_original_worker_dies(self, compiled):
+        # aggressive timeout: long tasks get duplicated while still
+        # running; killing Workers afterwards races the two completions
+        ft = FaultTolerancePolicy(task_timeout_ns=60_000.0)
+        sim, node, engine = build_engine(compiled, workers=4, ft=ft)
+        manager = JobManager(engine)
+        handle = manager.submit_job(graph_for(4, layers=4, width=8, seed=9))
+        ctrl = ChaosController(sim, seed=3)
+        ctrl.crash_worker(engine, 0, at_ns=150_000.0)
+        ctrl.crash_worker(engine, 3, at_ns=180_000.0)
+        ctrl.arm()
+        report = manager.run()                 # must terminate, not hang
+        outcome = report.job(handle.job_id)
+        assert handle.finished
+        # first completion wins; a duplicate never double-counts a task
+        done = sum(1 for item in handle.items if item.done.triggered)
+        assert done == len(handle.items)
+        assert outcome.report.tasks_unrecovered == 0
+
+    def test_speculative_records_stay_separate_from_crashes(self, compiled):
+        ft = FaultTolerancePolicy(task_timeout_ns=30_000.0)
+        sim, node, engine = build_engine(compiled, workers=2, ft=ft)
+        manager = JobManager(engine)
+        manager.submit_job(graph_for(2, layers=3, width=6, seed=11))
+        manager.run()
+        sup = engine.supervisor
+        # timeouts landed on the speculative ledger, not the crash one
+        assert all(not f.permanent for f in sup.speculative)
+        assert all(f.detected_at is not None for f in sup.speculative)
+        assert not sup.failures
+
+
+# ----------------------------------------------------------------------
+# the machine-wide retry budget (satellite: storms degrade, not livelock)
+# ----------------------------------------------------------------------
+class TestRetryBudget:
+    def _storm(self, compiled, budget):
+        ft = FaultTolerancePolicy(
+            retry_budget=budget,
+            retry_budget_window_ns=10_000_000.0,
+            max_attempts=6,
+        )
+        sim, node, engine = build_engine(compiled, workers=4, ft=ft)
+        manager = JobManager(engine)
+        handle = manager.submit_job(graph_for(4, layers=6, width=10))
+        tree = build_domain_tree(4)
+        ctrl = ChaosController(sim, seed=4)
+        # correlated storm: three of four Workers die permanently
+        ctrl.fail_domain(engine, tree.domain("blade0"), at_ns=50_000.0)
+        ctrl.crash_worker(engine, 2, at_ns=55_000.0)
+        ctrl.arm()
+        report = manager.run()
+        return report, engine.supervisor, handle
+
+    def test_exhausted_budget_degrades_to_recorded_loss(self, compiled):
+        report, sup, handle = self._storm(compiled, budget=3)
+        # the run terminated (no livelock) with the overflow recorded
+        assert handle.finished
+        assert sup.retries_denied > 0
+        assert sup.tasks_retried <= 3
+        outcome = report.job(handle.job_id)
+        assert outcome.report.tasks_unrecovered == len(sup.unrecovered)
+        assert outcome.report.tasks_unrecovered > 0
+
+    def test_ample_budget_changes_nothing(self, compiled):
+        unlimited, sup_u, _ = self._storm(compiled, budget=None)
+        roomy, sup_r, _ = self._storm(compiled, budget=10_000)
+        assert sup_r.retries_denied == 0
+        assert sup_u.tasks_retried == sup_r.tasks_retried
+        assert unlimited.makespan_ns == roomy.makespan_ns

@@ -1,0 +1,241 @@
+"""Tests for correlated failure domains: the enclosure tree, one-event
+subtree kills through the chaos controller, and the seeded per-tier
+MTBF plan generator."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    ChaosController,
+    DomainChaosConfig,
+    DomainTree,
+    FailureDomain,
+    TIERS,
+    build_domain_tree,
+)
+from repro.core import ComputeNode, ComputeNodeParams
+from repro.core.runtime import ExecutionEngine, FaultTolerancePolicy
+from repro.presets import compiled_suite
+from repro.sim import Simulator
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compiled_suite(max_variants=1)
+
+
+def build_engine(compiled, workers=4, ft=None):
+    registry, library = compiled
+    sim = Simulator()
+    node = ComputeNode(sim, ComputeNodeParams(num_workers=workers))
+    engine = ExecutionEngine(
+        node, registry, library, use_daemon=False, fault_tolerance=ft
+    )
+    return sim, node, engine
+
+
+# ----------------------------------------------------------------------
+# the enclosure tree
+# ----------------------------------------------------------------------
+class TestDomainTree:
+    def test_default_fanouts_eight_workers(self):
+        tree = build_domain_tree(8)
+        assert len(tree.domains("node")) == 8
+        assert len(tree.domains("blade")) == 4
+        assert len(tree.domains("rack")) == 2
+        assert len(tree.domains("psu")) == 1
+        assert tree.members("blade1") == [2, 3]
+        assert tree.members("rack0") == [0, 1, 2, 3]
+        assert tree.members("rack1") == [4, 5, 6, 7]
+        assert tree.members("psu0") == list(range(8))
+
+    def test_parent_chain(self):
+        tree = build_domain_tree(8)
+        assert tree.domain("node5").parent == "blade2"
+        assert tree.domain("blade2").parent == "rack1"
+        assert tree.domain("rack1").parent == "psu0"
+        assert tree.domain("psu0").parent is None
+
+    def test_trailing_groups_partial(self):
+        tree = build_domain_tree(5)
+        assert tree.members("blade2") == [4]        # half-populated blade
+        assert tree.members("rack1") == [4]
+        assert tree.members("psu0") == [0, 1, 2, 3, 4]
+
+    def test_ordering_is_deterministic(self):
+        tree = build_domain_tree(8)
+        names = [d.name for d in tree.domains()]
+        # leaf tier first, then by first member worker id
+        assert names[:8] == [f"node{i}" for i in range(8)]
+        assert names[8:12] == ["blade0", "blade1", "blade2", "blade3"]
+        assert names[12:] == ["rack0", "rack1", "psu0"]
+
+    def test_lookup_and_contains(self):
+        tree = build_domain_tree(4)
+        assert "rack0" in tree and "rack9" not in tree
+        with pytest.raises(KeyError):
+            tree.domain("rack9")
+        assert len(tree) == 4 + 2 + 1 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_domain_tree(0)
+        with pytest.raises(ValueError):
+            build_domain_tree(4, workers_per_blade=0)
+        with pytest.raises(ValueError):
+            FailureDomain("x", "shelf", (0,))
+        with pytest.raises(ValueError):
+            FailureDomain("x", "rack", ())
+        with pytest.raises(ValueError):
+            DomainTree([
+                FailureDomain("a", "node", (0,)),
+                FailureDomain("a", "node", (1,)),
+            ])
+
+    def test_to_dict_roundtrips_as_json(self):
+        tree = build_domain_tree(4)
+        text = json.dumps(tree.to_dict(), sort_keys=True)
+        assert json.loads(text)["domains"][0]["name"] == "node0"
+
+
+class TestDomainChaosConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DomainChaosConfig(workers_per_blade=0)
+        with pytest.raises(ValueError):
+            DomainChaosConfig(rack_mtbf_ns=-1.0)
+        with pytest.raises(ValueError):
+            DomainChaosConfig(downtime_ns=0.0)
+        with pytest.raises(ValueError):
+            DomainChaosConfig(window_ns=(500.0, 100.0))
+        with pytest.raises(ValueError):
+            DomainChaosConfig(max_failures=-1)
+
+    def test_mtbf_for_tier(self):
+        config = DomainChaosConfig(rack_mtbf_ns=1e6)
+        assert config.mtbf_for("rack") == 1e6
+        for tier in ("node", "blade", "psu"):
+            assert config.mtbf_for(tier) is None
+
+
+# ----------------------------------------------------------------------
+# correlated kills through the controller
+# ----------------------------------------------------------------------
+class TestFailDomain:
+    def test_one_event_takes_down_the_whole_subtree(self, compiled):
+        sim, node, engine = build_engine(
+            compiled, workers=4, ft=FaultTolerancePolicy()
+        )
+        tree = build_domain_tree(4)
+        ctrl = ChaosController(sim, seed=0)
+        fault = ctrl.fail_domain(engine, tree.domain("blade0"), at_ns=1_000.0)
+        assert fault.layer == "domain" and fault.kind == "crash-stop"
+        assert fault.params["workers"] == [0, 1]
+        assert ctrl.arm() == 1               # ONE planned event, not two
+        sim.run()
+        assert engine.schedulers[0].crashed and engine.schedulers[1].crashed
+        assert not engine.schedulers[2].crashed
+        # both members produced failure records at the same instant
+        crashed_at = {f.crashed_at for f in engine.supervisor.failures}
+        assert crashed_at == {1_000.0}
+        assert len(engine.supervisor.failures) == 2
+
+    def test_transient_outage_heals_the_subtree_together(self, compiled):
+        sim, node, engine = build_engine(
+            compiled, workers=4, ft=FaultTolerancePolicy()
+        )
+        tree = build_domain_tree(4)
+        ctrl = ChaosController(sim, seed=0)
+        ctrl.fail_domain(
+            engine, tree.domain("blade1"), at_ns=1_000.0, downtime_ns=5_000.0
+        )
+        assert ctrl.arm() == 2               # outage + restore
+        sim.run()
+        assert not engine.schedulers[2].crashed
+        assert not engine.schedulers[3].crashed
+        for failure in engine.supervisor.failures:
+            assert not failure.permanent
+            assert failure.rejoined_at == 6_000.0
+
+    def test_attached_gateway_browns_out_for_the_outage(self, compiled):
+        sim, node, engine = build_engine(compiled, workers=4)
+        tree = build_domain_tree(4)
+
+        class GatewayStub:
+            def __init__(self):
+                self.calls = []
+
+            def enter_brownout(self, reason):
+                self.calls.append(("enter", reason))
+
+            def exit_brownout(self):
+                self.calls.append(("exit", None))
+
+        gw = GatewayStub()
+        ctrl = ChaosController(sim, seed=0)
+        ctrl.attach_gateway(gw)
+        ctrl.fail_domain(
+            engine, tree.domain("rack0"), at_ns=500.0, downtime_ns=2_000.0
+        )
+        ctrl.arm()
+        sim.run()
+        assert gw.calls == [("enter", "domain:rack0"), ("exit", None)]
+
+
+class TestScheduleDomainRandom:
+    def _plan(self, compiled, seed, config):
+        sim, node, engine = build_engine(
+            compiled, workers=4, ft=FaultTolerancePolicy()
+        )
+        tree = build_domain_tree(4)
+        ctrl = ChaosController(sim, seed=seed)
+        ctrl.schedule_domain_random(engine, tree, config=config)
+        return ctrl
+
+    def test_plan_is_seed_deterministic(self, compiled):
+        config = DomainChaosConfig(
+            blade_mtbf_ns=300_000.0, rack_mtbf_ns=800_000.0
+        )
+        a = self._plan(compiled, 42, config)
+        b = self._plan(compiled, 42, config)
+        assert a.plan_json() == b.plan_json()
+        assert a.faults_planned > 0
+
+    def test_different_seed_different_plan(self, compiled):
+        config = DomainChaosConfig(blade_mtbf_ns=200_000.0)
+        a = self._plan(compiled, 1, config)
+        b = self._plan(compiled, 2, config)
+        assert a.plan_json() != b.plan_json()
+
+    def test_tiers_without_mtbf_never_fail(self, compiled):
+        config = DomainChaosConfig(blade_mtbf_ns=100_000.0)
+        ctrl = self._plan(compiled, 3, config)
+        assert all(f.params["tier"] == "blade" for f in ctrl.plan)
+
+    def test_max_failures_caps_the_plan(self, compiled):
+        config = DomainChaosConfig(
+            node_mtbf_ns=50_000.0, blade_mtbf_ns=50_000.0, max_failures=2
+        )
+        ctrl = self._plan(compiled, 5, config)
+        # transient plans carry a restore event per fault
+        outages = [f for f in ctrl.plan if f.kind != "restore"]
+        assert len(outages) <= 2
+
+    def test_permanent_plan_never_kills_the_last_survivor(self, compiled):
+        # tiny MTBFs everywhere + permanent faults: the generator must
+        # drop candidates that would flatten the whole machine
+        config = DomainChaosConfig(
+            node_mtbf_ns=10_000.0,
+            blade_mtbf_ns=10_000.0,
+            rack_mtbf_ns=10_000.0,
+            psu_mtbf_ns=10_000.0,
+            downtime_ns=None,
+            max_failures=50,
+            window_ns=(0.0, 10_000_000.0),
+        )
+        ctrl = self._plan(compiled, 7, config)
+        dead = set()
+        for f in ctrl.plan:
+            dead |= set(f.params["workers"])
+        assert len(dead) < 4
