@@ -78,6 +78,44 @@ class PlannedFault:
         }
 
 
+def seeded_node_plan(
+    seed: int,
+    node_id: int,
+    num_workers: int,
+    makespan_ns: float,
+    window_fraction: tuple = (0.2, 0.6),
+    crashes: int = 1,
+    transient_fraction: float = 0.0,
+    downtime_ns: float = 300_000.0,
+) -> List[Dict[str, Any]]:
+    """Worker-crash plan for one Compute Node of a sharded machine.
+
+    Pure function of ``(seed, node_id)`` plus the node's shape: the RNG
+    stream is ``f"{seed}:shard:{node_id}"``, so the plan is identical at
+    any partition count and on any backend.  Mirrors
+    :meth:`ChaosController.schedule_random`'s worker draws -- victims
+    sampled leaving at least one survivor, times uniform inside the
+    window, a per-crash transient draw -- but emits plain dicts so it
+    can cross a process boundary.
+    """
+    rng = random.Random(f"{seed}:shard:{node_id}")
+    lo, hi = window_fraction
+    count = min(crashes, max(0, num_workers - 1))
+    faults: List[Dict[str, Any]] = []
+    for worker in rng.sample(range(num_workers), count):
+        at_ns = rng.uniform(lo * makespan_ns, hi * makespan_ns)
+        transient = rng.random() < transient_fraction
+        faults.append(
+            {
+                "worker": worker,
+                "at_ns": at_ns,
+                "downtime_ns": downtime_ns if transient else None,
+            }
+        )
+    faults.sort(key=lambda f: (f["at_ns"], f["worker"]))
+    return faults
+
+
 class ChaosController:
     """Schedules and injects faults across the whole simulated machine."""
 

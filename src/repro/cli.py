@@ -255,8 +255,53 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return subprocess.call(cmd)
 
 
+def _shard_shape(args: argparse.Namespace) -> tuple:
+    """(num_nodes, partitions) for a CLI-requested sharded run."""
+    partitions = args.partitions if args.partitions is not None else 1
+    nodes = args.nodes if args.nodes is not None else max(2, partitions)
+    return nodes, partitions
+
+
+def _shard_requested(args: argparse.Namespace) -> bool:
+    return args.partitions is not None or args.nodes is not None
+
+
+def _print_sync(report: dict) -> None:
+    sync = report["sync"]
+    print(f"  shard sync       : {sync['windows']} windows, "
+          f"{sync['messages']} bridge messages, {sync['events']} events")
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import run_chaos_experiment
+
+    if _shard_requested(args):
+        from repro.shard import report_json, run_sharded_chaos
+
+        nodes, partitions = _shard_shape(args)
+        print(f"compiling the kernel suite, running sharded chaos preset "
+              f"{args.preset!r} ({nodes} nodes, {partitions} partitions, "
+              f"seed {args.seed})...", file=sys.stderr)
+        report = run_sharded_chaos(
+            args.preset, seed=args.seed, num_nodes=nodes,
+            partitions=partitions, backend=args.backend,
+        )
+        if args.events_out:
+            _write_or_print(report_json(report, indent=2), args.events_out)
+        print(f"  baseline makespan : "
+              f"{report['baseline_makespan_ns'] / 1e6:.3f} ms (worst node)")
+        print(f"  chaos makespan    : "
+              f"{report['chaos_makespan_ns'] / 1e6:.3f} ms (worst node)")
+        print(f"  faults injected   : {report['faults_injected']} "
+              f"across {nodes} nodes")
+        print(f"  tasks retried     : {report['tasks_retried']}")
+        print(f"  unrecovered tasks : {report['tasks_unrecovered']}")
+        _print_sync(report)
+        if report["integrity_ok"]:
+            print("  integrity         : OK -- every node healed its faults")
+            return 0
+        print("  integrity         : FAILED -- tasks lost or workload mismatch")
+        return 1
 
     print(f"compiling the kernel suite, running chaos preset {args.preset!r} "
           f"(seed {args.seed})...", file=sys.stderr)
@@ -432,6 +477,28 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     from repro.presets import compiled_suite, job_preset, node_preset
     from repro.sim import Simulator
 
+    if _shard_requested(args):
+        from repro.shard import report_json, run_sharded_jobs
+
+        nodes, partitions = _shard_shape(args)
+        print(f"compiling the kernel suite, running sharded job mix "
+              f"{args.preset!r} ({nodes} nodes, {partitions} partitions, "
+              f"backend {args.backend})...", file=sys.stderr)
+        report = run_sharded_jobs(
+            args.preset, seed=args.seed, num_nodes=nodes,
+            partitions=partitions, backend=args.backend,
+        )
+        if args.out:
+            _write_or_print(report_json(report, indent=2), args.out)
+        print(f"  machine makespan : {report['makespan_ns'] / 1e6:.3f} ms "
+              f"({report['tasks']} tasks across {nodes} nodes)")
+        print(f"  energy           : {report['energy_pj'] / 1e9:.3f} mJ")
+        _print_sync(report)
+        if report["tasks_unrecovered"]:
+            print(f"  WARNING: {report['tasks_unrecovered']} unrecovered tasks")
+            return 1
+        return 0
+
     mix = job_preset(args.preset)
     print(f"compiling the kernel suite, running job mix {args.preset!r} "
           f"({len(mix.jobs)} jobs on node preset {mix.node!r})...",
@@ -478,6 +545,32 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import run_serving_experiment
+
+    if _shard_requested(args):
+        from repro.shard import report_json, run_sharded_serving
+
+        nodes, partitions = _shard_shape(args)
+        print(f"compiling the kernel suite, serving sharded preset "
+              f"{args.preset!r} ({nodes} nodes, {partitions} partitions, "
+              f"seed {args.seed})...", file=sys.stderr)
+        report = run_sharded_serving(
+            args.preset, seed=args.seed, num_nodes=nodes,
+            partitions=partitions, backend=args.backend,
+        )
+        if args.out:
+            _write_or_print(report_json(report, indent=2), args.out)
+        print(f"  horizon          : {report['horizon_ns'] / 1e6:.3f} ms "
+              f"simulated (worst node)")
+        print(f"  requests         : {report['offered']} offered, "
+              f"{report['admitted']} admitted, {report['shed']} shed, "
+              f"{report['completed']} completed across {nodes} nodes")
+        print(f"  batching         : {report['batches']} batches")
+        _print_sync(report)
+        if report["unrecovered"]:
+            print(f"  WARNING: {report['unrecovered']} admitted requests "
+                  f"never completed")
+            return 1
+        return 0
 
     print(
         f"compiling the kernel suite, serving preset {args.preset!r} "
@@ -613,9 +706,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"{entry['events_per_sec']:>12,.0f} ev/s", file=sys.stderr)
 
     mode = "quick" if args.quick else "full"
-    print(f"running {mode} performance suite...", file=sys.stderr)
+    print(f"running {mode} performance suite "
+          f"(shard entries at {args.partitions} partitions)...",
+          file=sys.stderr)
     payload = perf.run_benchmarks(quick=args.quick, only=args.only or None,
-                                  progress=progress)
+                                  progress=progress,
+                                  partitions=args.partitions)
     with open(args.out, "w") as fh:
         fh.write(perf.to_json(payload))
     print(f"wrote {args.out}", file=sys.stderr)
@@ -623,6 +719,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.compare:
         with open(args.compare) as fh:
             baseline = json.load(fh)
+        for name in perf.new_benchmarks(payload, baseline):
+            print(f"  new benchmark (not in baseline): {name}",
+                  file=sys.stderr)
         failures = perf.compare(payload, baseline, threshold=args.threshold)
         if failures:
             print(f"PERFORMANCE REGRESSION vs {args.compare}:")
@@ -632,6 +731,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"no regressions vs {args.compare} "
               f"(threshold {args.threshold:.0%})", file=sys.stderr)
     return 0
+
+
+def _add_shard_args(p: argparse.ArgumentParser) -> None:
+    """The sharded-engine flags shared by jobs/serve/chaos.
+
+    Passing either ``--partitions`` or ``--nodes`` selects the sharded
+    engine; with neither, the legacy single-machine path runs unchanged.
+    """
+    p.add_argument("--partitions", type=int, default=None,
+                   help="run the sharded engine with this many partitions")
+    p.add_argument("--nodes", type=int, default=None,
+                   help="Compute Nodes in the sharded machine "
+                        "(default: max(2, partitions))")
+    p.add_argument("--backend", default="auto",
+                   choices=("auto", "inline", "process"),
+                   help="where partitions execute (auto: processes when "
+                        "multi-partition and multi-core)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -699,6 +815,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="chaos plan seed")
     p.add_argument("--events-out", default=None,
                    help="write the fault plan/injection JSON here")
+    _add_shard_args(p)
     p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(
@@ -746,6 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="offset added to every job's graph seed")
     p.add_argument("--out", default=None,
                    help="write the canonical MachineReport JSON here")
+    _add_shard_args(p)
     p.set_defaults(fn=_cmd_jobs)
 
     p = sub.add_parser(
@@ -761,6 +879,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed for the arrival processes")
     p.add_argument("--out", default=None,
                    help="write the canonical ServingReport JSON here")
+    _add_shard_args(p)
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -803,6 +922,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="baseline BENCH_perf.json; exit 1 on regression")
     p.add_argument("--threshold", type=float, default=0.30,
                    help="relative slowdown tolerated by --compare")
+    p.add_argument("--partitions", type=int, default=4,
+                   help="partition count for the .shardN bench entries")
     p.set_defaults(fn=_cmd_bench)
 
     return parser

@@ -51,6 +51,7 @@ class ComputeNode:
         params: ComputeNodeParams = ComputeNodeParams(),
         node_id: int = 0,
         ledger: Optional[EnergyLedger] = None,
+        template=None,
     ) -> None:
         self.sim = sim
         self.params = params
@@ -69,17 +70,31 @@ class ComputeNode:
             self.network, endpoints = build_tree(sim, [n])
         self.endpoints: List[Hashable] = endpoints
 
+        # ``template`` (see repro.shard.bringup.NodeTemplate) shares the
+        # structures that are pure functions of ``params`` -- tile grid,
+        # region budget, NUMA distance matrix, intra-tree route paths --
+        # across identical nodes; every mutable object stays per-node.
+        grid = template.grid if template is not None else None
+        budget = template.budget if template is not None else None
         self.workers: List[Worker] = [
-            Worker(sim, i, params.worker, ledger=self.ledger, name=f"{self.name}.w{i}")
+            Worker(
+                sim, i, params.worker, ledger=self.ledger,
+                name=f"{self.name}.w{i}", grid=grid, budget=budget,
+            )
             for i in range(n)
         ]
+        if template is not None and template.route_paths:
+            self.network.seed_routes(template.route_paths)
 
         # UNIMEM space + NUMA-aware allocator over it
         self.unimem = UnimemSpace(n, params.dram_window)
         domains = [
             NumaDomain(i, endpoints[i], self.unimem.map.window(i)) for i in range(n)
         ]
-        self.numa = NumaMap(domains, self.network)
+        if template is not None and template.numa_distances is not None:
+            self.numa = NumaMap(domains, distances=template.numa_distances)
+        else:
+            self.numa = NumaMap(domains, self.network)
         self.allocator = GlobalAllocator(self.numa)
 
     def __len__(self) -> int:

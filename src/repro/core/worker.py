@@ -88,6 +88,8 @@ class Worker:
         params: WorkerParams = WorkerParams(),
         ledger: Optional[EnergyLedger] = None,
         name: str = "",
+        grid: Optional[TileGrid] = None,
+        budget: Optional[list] = None,
     ) -> None:
         self.sim = sim
         self.worker_id = worker_id
@@ -100,11 +102,15 @@ class Worker:
         self.dram = Dram(sim, params.dram, name=f"{self.name}.dram")
         self.smmu = Smmu(tlb_entries=params.smmu_tlb_entries, name=f"{self.name}.smmu")
 
-        grid = TileGrid.standard(params.fabric_columns, params.fabric_rows)
+        # ``grid``/``budget`` let shard bring-up share one immutable
+        # TileGrid (and its prefix sums) plus the frozen region budget
+        # across identical Workers; building them fresh is the default.
+        if grid is None:
+            grid = TileGrid.standard(params.fabric_columns, params.fabric_rows)
         self.floorplanner = Floorplanner(grid)
-        self.fabric = Fabric(
-            sim, self.floorplanner.budget_regions(params.fabric_regions), name=f"{self.name}.fabric"
-        )
+        if budget is None:
+            budget = self.floorplanner.budget_regions(params.fabric_regions)
+        self.fabric = Fabric(sim, budget, name=f"{self.name}.fabric")
         self.reconfig = ReconfigurationController(
             sim,
             self.fabric,

@@ -44,6 +44,12 @@ class Network:
         self.name = name
         self.graph = nx.Graph()
         self._route_cache: Dict[Tuple[Hashable, Hashable], Route] = {}
+        # label paths seeded from a template, materialized into Routes
+        # lazily on first use (most seeded pairs never carry traffic)
+        self._seeded_paths: Dict[Tuple[Hashable, Hashable], Tuple[Hashable, ...]] = {}
+        # (parent, depth) maps from index_tree(); lets route() build any
+        # pair's unique path by an LCA walk instead of a graph search
+        self._tree_index: Optional[Tuple[Dict, Dict]] = None
         self.messages_sent = 0
         self.bytes_sent = 0
         # armed by repro.telemetry.wiring.attach_network
@@ -66,6 +72,8 @@ class Network:
         link = Link(self.sim, params, name or f"{a}<->{b}")
         self.graph.add_edge(a, b, link=link, weight=params.latency_ns)
         self._route_cache.clear()
+        self._seeded_paths.clear()
+        self._tree_index = None
         return link
 
     @property
@@ -85,6 +93,30 @@ class Network:
         cached = self._route_cache.get(key)
         if cached is not None:
             return cached
+        seeded = self._seeded_paths.pop(key, None)
+        if seeded is not None:
+            edges = self.graph.edges
+            route = Route(
+                list(seeded),
+                [
+                    edges[seeded[i], seeded[i + 1]]["link"]
+                    for i in range(len(seeded) - 1)
+                ],
+            )
+            self._route_cache[key] = route
+            return route
+        treed = self._tree_path(src, dst)
+        if treed is not None:
+            edges = self.graph.edges
+            route = Route(
+                list(treed),
+                [
+                    edges[treed[i], treed[i + 1]]["link"]
+                    for i in range(len(treed) - 1)
+                ],
+            )
+            self._route_cache[key] = route
+            return route
         if src == dst:
             route = Route([src], [])
         else:
@@ -102,6 +134,83 @@ class Network:
 
     def hop_distance(self, src: Hashable, dst: Hashable) -> int:
         return self.route(src, dst).hops
+
+    def route_paths(self) -> Dict[Tuple[Hashable, Hashable], Tuple[Hashable, ...]]:
+        """Every cached route as a node-label path (no Link references).
+
+        Label paths are safe to carry across *identically shaped*
+        networks -- shard bring-up computes the shortest paths once per
+        node template and replays them into each clone's cache via
+        :meth:`seed_routes`, skipping the per-pair graph search.
+        """
+        out = {
+            key: tuple(route.nodes) for key, route in self._route_cache.items()
+        }
+        for key, nodes in self._seeded_paths.items():
+            out.setdefault(key, tuple(nodes))
+        return out
+
+    def seed_routes(
+        self, paths: Dict[Tuple[Hashable, Hashable], Tuple[Hashable, ...]]
+    ) -> None:
+        """Pre-populate routing from label paths over *this* network.
+
+        Paths are stored as labels and materialized into Route objects
+        (with this network's own Link references) only on first use;
+        a path that does not exist edge-by-edge here fails loudly at
+        materialization instead of mis-routing.
+        """
+        for key, nodes in paths.items():
+            if key not in self._route_cache and key not in self._seeded_paths:
+                self._seeded_paths[key] = tuple(nodes)
+
+    def index_tree(self) -> None:
+        """Index a tree topology for O(depth) route materialization.
+
+        One BFS builds a parent/depth map; :meth:`route` then resolves
+        any pair by walking both ends up to their lowest common
+        ancestor.  Only valid on connected trees -- there each pair has
+        a *unique* simple path, so the LCA walk reproduces exactly the
+        path a graph search would find and indexing cannot change which
+        links carry traffic.  Raises otherwise; any topology change
+        drops the index.
+        """
+        nodes = list(self.graph.nodes)
+        if not nodes:
+            raise ValueError("cannot index an empty network")
+        root = nodes[0]
+        parent: Dict[Hashable, Optional[Hashable]] = {root: None}
+        depth: Dict[Hashable, int] = {root: 0}
+        order = [root]
+        for node in order:
+            for nbr in self.graph.adj[node]:
+                if nbr not in parent:
+                    parent[nbr] = node
+                    depth[nbr] = depth[node] + 1
+                    order.append(nbr)
+        if len(parent) != len(nodes) or self.graph.number_of_edges() != len(nodes) - 1:
+            raise ValueError("index_tree needs a connected tree")
+        self._tree_index = (parent, depth)
+
+    def _tree_path(
+        self, src: Hashable, dst: Hashable
+    ) -> Optional[Tuple[Hashable, ...]]:
+        """The unique src->dst label path via the tree index, else None."""
+        if self._tree_index is None:
+            return None
+        parent, depth = self._tree_index
+        if src not in depth or dst not in depth:
+            return None
+        a, b = src, dst
+        up_a, up_b = [a], [b]
+        while a != b:
+            if depth[a] >= depth[b]:
+                a = parent[a]
+                up_a.append(a)
+            else:
+                b = parent[b]
+                up_b.append(b)
+        return tuple(up_a + up_b[-2::-1])
 
     def hop_distances_from(
         self, src: Hashable, dsts: Optional[Iterable[Hashable]] = None
@@ -138,6 +247,18 @@ class Network:
         processing units".
         """
         nodes = list(endpoints) if endpoints is not None else self.nodes
+        if self._tree_index is not None and nodes:
+            # two farthest-point sweeps: on a tree, the farthest member
+            # of a set from ANY start is one end of a longest in-set
+            # path, so two O(n * depth) sweeps replace n BFS passes
+            def dist(a: Hashable, b: Hashable) -> int:
+                path = self._tree_path(a, b)
+                if path is None:
+                    raise ValueError(f"{b!r} unreachable from {a!r}")
+                return len(path) - 1
+
+            u = max(nodes, key=lambda n: dist(nodes[0], n))
+            return max(dist(u, n) for n in nodes)
         best = 0
         for i, a in enumerate(nodes):
             lengths = nx.single_source_shortest_path_length(self.graph, a)

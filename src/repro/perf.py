@@ -34,6 +34,7 @@ committed baseline *and* the absolute slowdown exceeds a small floor
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -228,6 +229,54 @@ def bench_exascale_build(quick: bool) -> int:
     return events
 
 
+def make_bench_sharded_build(partitions: int) -> Callable[[bool], int]:
+    """The exascale sweep through the sharded engine at one shard count.
+
+    Same machine shapes as :func:`bench_exascale_build`; bring-up goes
+    through the per-node template cache, so this is the headline for
+    what sharding buys on construction-dominated work.
+    """
+
+    def bench(quick: bool) -> int:
+        from repro.shard import run_sharded_build
+
+        configs: List[Tuple[int, Optional[List[int]], int, Optional[int]]] = [
+            (1, None, 4, None),
+            (4, [4], 4, None),
+            (16, [4, 4], 8, 4),
+            (64, [4, 4, 4], 8, 4),
+        ]
+        if quick:
+            configs = configs[:3]
+        events = 0
+        for nodes, fanouts, wpn, intra in configs:
+            result = run_sharded_build(
+                num_nodes=nodes,
+                workers_per_node=wpn,
+                intra_fanout=intra,
+                inter_node_fanouts=fanouts,
+                partitions=min(partitions, nodes),
+            )
+            events += result["total_workers"]
+        return events
+
+    return bench
+
+
+def make_bench_sharded_serving(partitions: int) -> Callable[[bool], int]:
+    """The serving `steady` preset across a 4-node sharded machine."""
+
+    def bench(quick: bool) -> int:
+        from repro.shard import run_sharded_serving
+
+        report = run_sharded_serving(
+            "steady", seed=0, num_nodes=4, partitions=min(partitions, 4)
+        )
+        return report["sync"]["events"]
+
+    return bench
+
+
 #: registered benchmarks, in canonical execution order
 BENCHMARKS: Dict[str, Callable[[bool], int]] = {
     "sim.engine": bench_sim_engine,
@@ -240,6 +289,27 @@ BENCHMARKS: Dict[str, Callable[[bool], int]] = {
 }
 
 
+def benchmark_registry(partitions: int = 1) -> Dict[str, Callable[[bool], int]]:
+    """The canonical suite plus the sharded-engine entries.
+
+    ``.shard1`` entries always run (the sharded engine at one partition
+    -- the byte-identity reference); a ``.shard{p}`` pair is added when
+    ``partitions > 1``.  Single-threaded entries keep their historical
+    names so committed baselines stay comparable.
+    """
+    registry = dict(BENCHMARKS)
+    registry["machine.exascale_build.shard1"] = make_bench_sharded_build(1)
+    registry["serving.steady.shard1"] = make_bench_sharded_serving(1)
+    if partitions > 1:
+        registry[f"machine.exascale_build.shard{partitions}"] = (
+            make_bench_sharded_build(partitions)
+        )
+        registry[f"serving.steady.shard{partitions}"] = (
+            make_bench_sharded_serving(partitions)
+        )
+    return registry
+
+
 # ----------------------------------------------------------------------
 # harness
 # ----------------------------------------------------------------------
@@ -247,19 +317,31 @@ def run_benchmarks(
     quick: bool = False,
     only: Optional[List[str]] = None,
     progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+    partitions: int = 1,
 ) -> Dict[str, Any]:
     """Run the suite and return the BENCH_perf payload (not yet written)."""
-    names = list(BENCHMARKS) if not only else list(only)
-    unknown = [n for n in names if n not in BENCHMARKS]
+    registry = benchmark_registry(partitions)
+    names = list(registry) if not only else list(only)
+    unknown = [n for n in names if n not in registry]
     if unknown:
-        known = ", ".join(BENCHMARKS)
+        known = ", ".join(registry)
         raise KeyError(f"unknown benchmark(s) {unknown}; choose from: {known}")
     results: Dict[str, Dict[str, float]] = {}
     for name in names:
-        fn = BENCHMARKS[name]
-        start = time.perf_counter()
-        events = fn(quick)
-        wall = time.perf_counter() - start
+        fn = registry[name]
+        # collect before and pause the collector during the timed
+        # region, so one benchmark's garbage is never billed to the
+        # next one's wall clock
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            events = fn(quick)
+            wall = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         entry = {
             "wall_seconds": round(wall, 6),
             "events_processed": int(events),
@@ -301,3 +383,16 @@ def compare(
                 f"{100.0 * threshold:.0f}%)"
             )
     return failures
+
+
+def new_benchmarks(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[str]:
+    """Benchmarks present in ``current`` but absent from the baseline.
+
+    These are *informational*: a benchmark the baseline has never seen
+    cannot regress, so the gate reports it as new instead of failing.
+    """
+    cur = set(current.get("benchmarks", {}))
+    base = set(baseline.get("benchmarks", {}))
+    return sorted(cur - base)

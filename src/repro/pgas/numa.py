@@ -30,7 +30,12 @@ class NumaDomain:
 class NumaMap:
     """Domains plus a hop-distance matrix."""
 
-    def __init__(self, domains: Sequence[NumaDomain], network: Optional[Network] = None) -> None:
+    def __init__(
+        self,
+        domains: Sequence[NumaDomain],
+        network: Optional[Network] = None,
+        distances: Optional[Dict[tuple, int]] = None,
+    ) -> None:
         if not domains:
             raise ValueError("need at least one NUMA domain")
         ids = [d.domain_id for d in domains]
@@ -39,7 +44,12 @@ class NumaMap:
         self.domains: List[NumaDomain] = list(domains)
         self._by_id: Dict[int, NumaDomain] = {d.domain_id: d for d in domains}
         self._distance: Dict[tuple, int] = {}
-        if network is not None:
+        if distances is not None:
+            # precomputed matrix (shard bring-up templates): distances are
+            # a pure function of the topology shape, so identical nodes
+            # can share one sweep's result instead of re-running Dijkstra
+            self._distance = dict(distances)
+        elif network is not None:
             # one Dijkstra sweep per distinct endpoint instead of one
             # shortest-path search per (domain, domain) pair
             nodes = {d.worker_node for d in domains}
@@ -56,6 +66,11 @@ class NumaMap:
 
     def __len__(self) -> int:
         return len(self.domains)
+
+    def distance_table(self) -> Dict[tuple, int]:
+        """A copy of the (domain, domain) -> hops matrix, suitable for
+        seeding another :class:`NumaMap` over an identical topology."""
+        return dict(self._distance)
 
     def domain(self, domain_id: int) -> NumaDomain:
         if domain_id not in self._by_id:

@@ -410,6 +410,15 @@ class ServingGateway:
         if self.brownout is not None:
             self.brownout.exit()
 
+    def load_snapshot(self) -> Dict[str, Any]:
+        """Instantaneous load counters for an external control plane."""
+        return {
+            "outstanding": self._outstanding,
+            "queued": self.batcher.pending(),
+            "arrivals_open": self._arrivals_open,
+            "drained": self._drained,
+        }
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

@@ -1,0 +1,87 @@
+"""The cross-partition message bridge.
+
+Every inter-node interaction of a sharded run -- MPI-style transfers,
+remote PGAS stage-in, chaos kill commands, serving control-plane epochs
+-- travels as a :class:`BridgeMessage`.  Messages are plain picklable
+records (the process backend ships them over pipes), and their total
+order is ``(deliver_ns, src_node, seq)``: simultaneous cross-partition
+deliveries tie-break by source node and then by the per-source send
+sequence, which is exactly the deterministic-merge order the canonical
+reports rely on.
+
+The bridge is *latency-validating*: a send below the plan's lookahead
+would let a message arrive inside the window that produced it, breaking
+conservative synchronization, so it is rejected loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.shard.plan import ShardError
+
+
+@dataclass(frozen=True)
+class BridgeMessage:
+    """One cross-node message (picklable primitives only)."""
+
+    deliver_ns: float
+    src_node: int
+    seq: int              # per-source send sequence (deterministic)
+    dst_node: int
+    kind: str
+    payload: Tuple        # primitives / nested tuples only
+
+    @property
+    def order_key(self) -> Tuple[float, int, int]:
+        return (self.deliver_ns, self.src_node, self.seq)
+
+
+class NodeBridge:
+    """One node's send side of the bridge.
+
+    ``send`` stamps the per-source sequence number and validates the
+    latency against the lookahead; the partition runtime drains the
+    outbox at each window boundary and the coordinator routes the sorted
+    batch to destination partitions.
+    """
+
+    def __init__(self, node_id: int, sim, lookahead_ns: float) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.lookahead_ns = lookahead_ns
+        self._seq = 0
+        self.outbox: List[BridgeMessage] = []
+        self.sent = 0
+        self.received = 0
+
+    def send(
+        self, dst_node: int, kind: str, payload: Tuple, latency_ns: float
+    ) -> BridgeMessage:
+        if latency_ns < self.lookahead_ns:
+            raise ShardError(
+                f"cross-partition latency {latency_ns} ns below lookahead "
+                f"{self.lookahead_ns} ns (node {self.node_id} -> {dst_node})"
+            )
+        msg = BridgeMessage(
+            deliver_ns=self.sim.now + latency_ns,
+            src_node=self.node_id,
+            seq=self._seq,
+            dst_node=dst_node,
+            kind=kind,
+            payload=payload,
+        )
+        self._seq += 1
+        self.sent += 1
+        self.outbox.append(msg)
+        return msg
+
+    def drain(self) -> List[BridgeMessage]:
+        out, self.outbox = self.outbox, []
+        return out
+
+
+def sort_messages(messages: List[BridgeMessage]) -> List[BridgeMessage]:
+    """Canonical delivery order: (deliver_ns, src_node, seq)."""
+    return sorted(messages, key=lambda m: m.order_key)

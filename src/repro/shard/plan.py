@@ -1,0 +1,95 @@
+"""Partitioning plans for the sharded simulation engine.
+
+The machine is partitioned **by Compute Node** -- the paper's own
+PGAS-island boundary: everything inside a node (Workers, fabric, memory,
+the intra-node interconnect) is simulated by that node's own event loop,
+and only inter-node traffic (MPI bridge, remote PGAS access, chaos
+commands, serving control-plane epochs) crosses partitions.
+
+A :class:`PartitionPlan` is deliberately *not* part of any experiment's
+canonical output: the node, not the partition, is the unit of
+simulation, and the partition count only chooses how node simulators are
+grouped into execution containers.  Canonical reports therefore stay
+byte-identical at any partition count.
+
+The conservative-synchronization lookahead defaults to the inter-node
+link latency of the machine hierarchy (``level_params(1)``) -- no
+cross-node message can arrive sooner than one inter-node hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class ShardError(RuntimeError):
+    """Raised for invalid shard plans or synchronization-protocol bugs."""
+
+
+def default_lookahead_ns() -> float:
+    """Lookahead = the uncontended inter-node link latency (level 1)."""
+    from repro.interconnect.topology import level_params
+
+    return level_params(1).latency_ns
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """How ``num_nodes`` Compute Nodes map onto ``partitions`` containers.
+
+    Nodes are assigned in contiguous balanced blocks, so partition
+    boundaries follow the machine hierarchy (neighbouring nodes share a
+    partition first).
+    """
+
+    num_nodes: int
+    partitions: int
+    lookahead_ns: float
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ShardError("a plan needs at least one Compute Node")
+        if self.partitions < 1:
+            raise ShardError("a plan needs at least one partition")
+        if self.partitions > self.num_nodes:
+            raise ShardError(
+                f"cannot split {self.num_nodes} node(s) into "
+                f"{self.partitions} partitions"
+            )
+        if self.lookahead_ns <= 0:
+            raise ShardError(
+                "conservative synchronization needs a strictly positive "
+                f"lookahead, got {self.lookahead_ns} ns (zero-latency "
+                "inter-node links would serialize every event)"
+            )
+
+    @classmethod
+    def build(
+        cls,
+        num_nodes: int,
+        partitions: int,
+        lookahead_ns: float = None,
+    ) -> "PartitionPlan":
+        if lookahead_ns is None:
+            lookahead_ns = default_lookahead_ns()
+        return cls(num_nodes=num_nodes, partitions=partitions,
+                   lookahead_ns=lookahead_ns)
+
+    def partition_of(self, node_id: int) -> int:
+        """The partition holding ``node_id`` (contiguous balanced blocks)."""
+        if not 0 <= node_id < self.num_nodes:
+            raise ShardError(f"node {node_id} outside plan of {self.num_nodes}")
+        return node_id * self.partitions // self.num_nodes
+
+    def nodes_in(self, partition: int) -> Tuple[int, ...]:
+        """The node ids grouped into ``partition``, ascending."""
+        if not 0 <= partition < self.partitions:
+            raise ShardError(f"partition {partition} outside plan")
+        return tuple(
+            n for n in range(self.num_nodes) if self.partition_of(n) == partition
+        )
+
+    def blocks(self) -> List[Tuple[int, ...]]:
+        """Every partition's node block, in partition order."""
+        return [self.nodes_in(p) for p in range(self.partitions)]

@@ -230,6 +230,52 @@ class Simulator:
         if until is not None and until > self.now:
             self.now = until
 
+    def run_window(self, horizon: float) -> int:
+        """Fire every event with ``time < horizon``; return how many fired.
+
+        The sharded engine's conservative-synchronization primitive: a
+        partition advances its node simulators window by window, and the
+        window end must be *exclusive* so a cross-partition message
+        delivered exactly at ``horizon`` interleaves with local events at
+        the same timestamp by the normal (time, priority, seq) order --
+        it is scheduled before any local event at ``horizon`` exists.
+        Unlike ``run(until=...)`` the clock is left at the last processed
+        event (events may still legally be scheduled inside [now,
+        horizon)), which matches the monolithic engine's clock trajectory
+        exactly.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        queue = self._queue
+        pop = heapq.heappop
+        try:
+            while True:
+                if queue is not self._queue:  # compaction swapped the list
+                    queue = self._queue
+                if not queue:
+                    break
+                event = queue[0]
+                if event.cancelled:
+                    pop(queue)
+                    self._cancelled_in_queue -= 1
+                    continue
+                if event.time >= horizon:
+                    break
+                pop(queue)
+                event._sim = None
+                self.now = event.time
+                self._processed += 1
+                telemetry = self.telemetry
+                if telemetry is not None:
+                    telemetry.sim_event_fired(event)
+                event.callback(*event.args)
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
     def warp_to(self, time: float) -> None:
         """Jump an *idle* simulator's clock forward (checkpoint restore).
 

@@ -1,0 +1,41 @@
+"""Deterministic merging of per-node telemetry/event streams.
+
+A sharded run produces one event stream per Compute Node simulator.
+Concatenating them in completion order would depend on the partition
+count and backend scheduling, so every merge goes through one canonical
+tie-break: ``(time_ns, node_id, seq)`` -- simulated time first, then the
+owning node, then the node-local sequence number.  Two events are never
+equal under this key (seq is unique per node), so the merged order is
+total and byte-identical however the run was partitioned.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: one merged entry: (time_ns, node_id, seq, payload)
+MergedEvent = Tuple[float, int, int, object]
+
+
+def merge_streams(
+    streams: Dict[int, Sequence[Tuple[float, int, object]]],
+) -> List[MergedEvent]:
+    """Merge per-node ``(time_ns, seq, payload)`` streams.
+
+    Each node's stream must already be sorted by ``(time_ns, seq)`` --
+    which a deterministic simulator produces naturally -- so the merge
+    is a single heap pass, not a global sort.
+    """
+    keyed: List[Iterable[MergedEvent]] = []
+    for node_id in sorted(streams):
+        stream = streams[node_id]
+        for i in range(1, len(stream)):
+            if (stream[i][0], stream[i][1]) < (stream[i - 1][0], stream[i - 1][1]):
+                raise ValueError(
+                    f"stream for node {node_id} is not sorted at index {i}"
+                )
+        keyed.append(
+            [(t, node_id, seq, payload) for (t, seq, payload) in stream]
+        )
+    return list(heapq.merge(*keyed))

@@ -110,3 +110,39 @@ class TestSimulatedSend:
         spawn(sim, proc())
         sim.run()
         assert sorted(done) == [100.0, 200.0]
+
+
+class TestTreeIndex:
+    def tree_pair(self, fanouts):
+        from repro.interconnect.topology import build_tree, level_params
+
+        depth = len(fanouts)
+        params = [level_params(depth - 1 - d + 1) for d in range(depth)]
+        searched, eps = build_tree(Simulator(), fanouts, params)
+        indexed, _ = build_tree(Simulator(), fanouts, params)
+        indexed.index_tree()
+        return searched, indexed, eps
+
+    @pytest.mark.parametrize("fanouts", [[4], [2, 3], [4, 4], [1, 4]])
+    def test_indexed_routes_match_graph_search(self, fanouts):
+        searched, indexed, eps = self.tree_pair(fanouts)
+        for a in eps:
+            for b in eps:
+                want = searched.route(a, b)
+                got = indexed.route(a, b)
+                assert got.nodes == want.nodes
+                assert got.latency(4096) == want.latency(4096)
+        assert indexed.diameter_hops(eps) == searched.diameter_hops(eps)
+
+    def test_index_tree_rejects_cycles(self):
+        _, net = line_network(3)
+        net.add_link(0, 2)
+        with pytest.raises(ValueError, match="connected tree"):
+            net.index_tree()
+
+    def test_topology_change_drops_index(self):
+        _, indexed, eps = self.tree_pair([4])
+        indexed.add_link(eps[0], eps[1])
+        assert indexed._tree_index is None
+        # routing still works, now via graph search
+        assert indexed.route(eps[0], eps[1]).hops == 1
