@@ -119,13 +119,19 @@ def seeded_node_plan(
 class ChaosController:
     """Schedules and injects faults across the whole simulated machine."""
 
-    def __init__(self, sim: Simulator, seed: int = 0, telemetry=None) -> None:
+    def __init__(
+        self, sim: Simulator, seed: int = 0, telemetry=None, live: bool = False
+    ) -> None:
         self.sim = sim
         self.seed = seed
         self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
         self.plan: List[PlannedFault] = []
         self.injected: List[Dict[str, Any]] = []
         self._armed = False
+        # live controllers (the service daemon's) accept fault additions
+        # after arm() and schedule them immediately; batch controllers
+        # keep the build-plan-then-arm-once contract
+        self.live = live
         # opt-in: a ServingGateway attached here is told to enter/exit
         # brownout around domain outages (degraded-mode serving while
         # the machine restores); None keeps chaos serving-agnostic
@@ -154,10 +160,22 @@ class ChaosController:
             )
 
     def _add(self, fault: PlannedFault) -> PlannedFault:
-        if self._armed:
+        if self._armed and not self.live:
             raise RuntimeError("chaos plan already armed; build the plan first")
         self.plan.append(fault)
+        if self._armed:
+            # online injection: the controller is live (a service-daemon
+            # ``chaos`` command arrived mid-run), so schedule immediately
+            # instead of waiting for an arm() that already happened
+            self._schedule(fault)
         return fault
+
+    def _schedule(self, fault: PlannedFault) -> None:
+        def fire(f: PlannedFault = fault) -> None:
+            f.apply()
+            self._record(f)
+
+        self.sim.schedule_at(max(fault.at_ns, self.sim.now), fire)
 
     # ------------------------------------------------------------------
     # explicit fault scheduling
@@ -446,17 +464,16 @@ class ChaosController:
     # ------------------------------------------------------------------
     def arm(self) -> int:
         """Schedule every planned fault on the simulator.  Idempotent-safe:
-        a plan can only be armed once."""
+        a plan can only be armed once.  A ``live=True`` controller stays
+        open after arming: later fault additions schedule themselves
+        immediately, which is how the service daemon injects plans
+        mid-run; batch controllers keep refusing post-arm additions."""
         if self._armed:
             raise RuntimeError("chaos plan already armed")
         self._armed = True
         self.plan.sort(key=lambda f: (f.at_ns, f.layer, f.kind, f.target))
         for fault in self.plan:
-            def fire(f: PlannedFault = fault) -> None:
-                f.apply()
-                self._record(f)
-
-            self.sim.schedule_at(max(fault.at_ns, self.sim.now), fire)
+            self._schedule(fault)
         return len(self.plan)
 
     def plan_json(self, indent: Optional[int] = None) -> str:

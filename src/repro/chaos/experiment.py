@@ -148,10 +148,13 @@ class ChaosReport:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
 
-def _build_run(preset: ChaosPreset, registry, library, **engine_kwargs):
+def _build_run(preset: ChaosPreset, registry, library, warm: bool = False,
+               **engine_kwargs):
     """One fresh (sim, node, engine, graph) quadruple for the preset."""
+    from repro.presets import build_preset_node
+
     sim = Simulator()
-    node = ComputeNode(sim, node_preset(preset.node))
+    node = build_preset_node(sim, preset.node, warm=warm)
     engine = ExecutionEngine(
         node, registry, library,
         use_daemon=True, daemon_period_ns=100_000.0,
@@ -169,21 +172,29 @@ def run_chaos_experiment(
     seed: int = 0,
     telemetry=None,
     compiled=None,
+    warm_start=False,
 ) -> ChaosReport:
     """Run one named chaos scenario end to end.
 
     ``compiled`` lets callers pass a pre-built ``(registry, library)``
     pair (the HLS flow is the slow part); ``telemetry`` instruments the
-    chaos run only.
+    chaos run only.  ``warm_start`` (bool or saved-snapshot path) builds
+    both machines through the template cache -- bit-identical reports,
+    bring-up paid once.
     """
     if preset_name not in CHAOS_PRESETS:
         known = ", ".join(sorted(CHAOS_PRESETS))
         raise KeyError(f"unknown chaos preset {preset_name!r}; choose from: {known}")
     preset = CHAOS_PRESETS[preset_name]
+    from repro.experiments import resolve_warm_start
+
+    warm = resolve_warm_start(warm_start, preset.node)
     registry, library = compiled if compiled is not None else compiled_suite(max_variants=1)
 
     # --- baseline: fault tolerance off, no faults ----------------------
-    _, _, baseline_engine, baseline_graph = _build_run(preset, registry, library)
+    _, _, baseline_engine, baseline_graph = _build_run(
+        preset, registry, library, warm=warm
+    )
     baseline_report = baseline_engine.run_graph(baseline_graph)
 
     # --- chaos: self-healing runtime + seeded fault plan ---------------
@@ -192,7 +203,7 @@ def run_chaos_experiment(
         max_attempts=preset.max_attempts,
     )
     sim, node, engine, graph = _build_run(
-        preset, registry, library,
+        preset, registry, library, warm=warm,
         fault_tolerance=policy, telemetry=telemetry,
     )
     lo, hi = preset.window_fraction

@@ -17,7 +17,10 @@ Commands:
                   batching and SLO-driven elastic reconfiguration,
 - ``inspect``     traced serving run -> critical-path breakdown, top-K
                   slowest requests and the SLO burn-rate alert timeline,
-- ``bench``       wall-clock performance suite -> canonical BENCH_perf.json.
+- ``bench``       wall-clock performance suite -> canonical BENCH_perf.json,
+- ``daemon``      always-on service mode: one live machine behind a
+                  line-delimited-JSON control plane (unix socket / HTTP),
+- ``client``      speak the daemon protocol from the command line.
 """
 
 from __future__ import annotations
@@ -262,6 +265,22 @@ def _shard_shape(args: argparse.Namespace) -> tuple:
     return nodes, partitions
 
 
+def _warm_start(args: argparse.Namespace):
+    """The experiment ``warm_start`` argument from --warm-start [SNAP]."""
+    value = getattr(args, "warm_start", None)
+    if value is None:
+        return False
+    return value  # True (bare flag) or a snapshot path
+
+
+def _add_warm_start_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--warm-start", nargs="?", const=True, default=None, metavar="SNAPSHOT",
+        help="skip bring-up via the template cache; with a SNAPSHOT path, "
+             "verify the topology against a saved daemon snapshot first "
+             "(reports are bit-identical either way)")
+
+
 def _shard_requested(args: argparse.Namespace) -> bool:
     return args.partitions is not None or args.nodes is not None
 
@@ -305,7 +324,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     print(f"compiling the kernel suite, running chaos preset {args.preset!r} "
           f"(seed {args.seed})...", file=sys.stderr)
-    report = run_chaos_experiment(args.preset, seed=args.seed)
+    report = run_chaos_experiment(
+        args.preset, seed=args.seed, warm_start=_warm_start(args)
+    )
     if args.events_out:
         _write_or_print(report.events_json(indent=2), args.events_out)
     chaos, base = report.chaos, report.baseline
@@ -471,11 +492,8 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
-    from repro.apps import make_layered_dag
-    from repro.core import ComputeNode
-    from repro.core.runtime import ExecutionEngine, JobManager
-    from repro.presets import compiled_suite, job_preset, node_preset
-    from repro.sim import Simulator
+    from repro.experiments import run_jobs_experiment
+    from repro.presets import job_preset
 
     if _shard_requested(args):
         from repro.shard import report_json, run_sharded_jobs
@@ -503,24 +521,9 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     print(f"compiling the kernel suite, running job mix {args.preset!r} "
           f"({len(mix.jobs)} jobs on node preset {mix.node!r})...",
           file=sys.stderr)
-    registry, library = compiled_suite(max_variants=1)
-    sim = Simulator()
-    node = ComputeNode(sim, node_preset(mix.node))
-    engine = ExecutionEngine(
-        node, registry, library, use_daemon=True, daemon_period_ns=100_000.0,
+    report = run_jobs_experiment(
+        args.preset, seed=args.seed, warm_start=_warm_start(args)
     )
-    manager = JobManager(engine)
-    for spec in mix.jobs:
-        graph = make_layered_dag(
-            layers=spec.layers, width=spec.width, num_workers=len(node),
-            functions=("saxpy", "stencil5", "montecarlo"),
-            seed=spec.graph_seed + args.seed,
-        )
-        manager.submit_job(
-            graph, policy=spec.policy, priority=spec.priority,
-            dataflow=spec.dataflow,
-        )
-    report = manager.run()
     if args.out:
         _write_or_print(report.json(indent=2), args.out)
     print(f"  machine makespan : {report.makespan_ns / 1e6:.3f} ms "
@@ -577,7 +580,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"(seed {args.seed})...",
         file=sys.stderr,
     )
-    report = run_serving_experiment(args.preset, seed=args.seed)
+    report = run_serving_experiment(
+        args.preset, seed=args.seed, warm_start=_warm_start(args)
+    )
     _write_or_print(report.json(indent=2), args.out)
     print(f"  horizon          : {report.horizon_ns / 1e6:.3f} ms simulated")
     print(f"  requests         : {report.offered} offered, "
@@ -600,6 +605,104 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"  WARNING: {report.unrecovered} admitted requests never completed")
         return 1
     return 0
+
+
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    from repro.service.daemon import run_daemon
+
+    socket_path = args.socket
+    if socket_path is None and args.http is None:
+        socket_path = "repro.sock"
+    return run_daemon(
+        socket_path=socket_path,
+        http_port=args.http,
+        http_host=args.host,
+        preset=args.preset,
+        seed=args.seed,
+        window_ns=args.window_ns,
+        telemetry=not args.no_telemetry,
+        warm=not args.cold,
+        snapshot_dir=args.snapshot_dir,
+        restore=args.restore,
+    )
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    frame = {"cmd": args.command}
+    if args.command == "script" and args.args and not args.args.lstrip().startswith("{"):
+        frame["path"] = args.args  # bare path shorthand
+    elif args.args:
+        try:
+            extra = json.loads(args.args)
+        except json.JSONDecodeError as exc:
+            print(f"repro client: args must be a JSON object: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(extra, dict):
+            print("repro client: args must be a JSON object", file=sys.stderr)
+            return 2
+        frame.update(extra)
+    client = ServiceClient(
+        socket_path=args.socket if args.http is None else None,
+        host=args.host,
+        port=args.http,
+        timeout=args.timeout,
+    )
+    try:
+        with client:
+            if args.command == "script":
+                return _client_script(client, frame, args)
+            reply = client.request(frame)
+    except ServiceClientError as exc:
+        print(f"repro client: {exc}", file=sys.stderr)
+        return 1
+    return _client_emit(reply, args)
+
+
+def _client_emit(reply: dict, args: argparse.Namespace) -> int:
+    import json
+
+    # reports and metrics carry one big text payload; write it raw so the
+    # output diffs byte-for-byte against batch-mode files
+    if reply.get("ok") and args.out and "report" in reply:
+        _write_or_print(reply["report"], args.out)
+        rest = {k: v for k, v in reply.items() if k != "report"}
+        print(json.dumps(rest, sort_keys=True))
+    elif reply.get("ok") and args.out and "text" in reply:
+        _write_or_print(reply["text"], args.out)
+        rest = {k: v for k, v in reply.items() if k != "text"}
+        print(json.dumps(rest, sort_keys=True))
+    else:
+        print(json.dumps(reply, sort_keys=True))
+    return 0 if reply.get("ok") else 1
+
+
+def _client_script(client, frame: dict, args: argparse.Namespace) -> int:
+    """Run a .jsonl command script (one frame per line) through the daemon."""
+    import json
+
+    path = frame.get("path") or args.args
+    if not path or not isinstance(path, str):
+        print('repro client: script needs {"path": "commands.jsonl"}',
+              file=sys.stderr)
+        return 2
+    frames = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                frames.append(json.loads(line))
+    replies = client.script(frames)
+    failed = 0
+    for reply in replies:
+        print(json.dumps(reply, sort_keys=True))
+        if not reply.get("ok"):
+            failed += 1
+    return 1 if failed else 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -816,6 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events-out", default=None,
                    help="write the fault plan/injection JSON here")
     _add_shard_args(p)
+    _add_warm_start_args(p)
     p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(
@@ -864,6 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write the canonical MachineReport JSON here")
     _add_shard_args(p)
+    _add_warm_start_args(p)
     p.set_defaults(fn=_cmd_jobs)
 
     p = sub.add_parser(
@@ -880,6 +985,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write the canonical ServingReport JSON here")
     _add_shard_args(p)
+    _add_warm_start_args(p)
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -926,12 +1032,72 @@ def build_parser() -> argparse.ArgumentParser:
                    help="partition count for the .shardN bench entries")
     p.set_defaults(fn=_cmd_bench)
 
+    p = sub.add_parser(
+        "daemon",
+        help="always-on service mode: live machine + JSON control plane",
+    )
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="unix socket to serve the NDJSON protocol on "
+                        "(default: repro.sock when --http is not given)")
+    p.add_argument("--http", type=int, default=None, metavar="PORT",
+                   help="also serve HTTP: GET /metrics, GET /status, POST /rpc")
+    p.add_argument("--host", default="127.0.0.1", help="HTTP bind host")
+    # keep in sync with repro.presets.SERVING_PRESETS (not imported here:
+    # parser construction must stay light for every subcommand)
+    p.add_argument("--preset", default="steady",
+                   choices=("diurnal", "flash-crowd", "steady"),
+                   help="default serving preset for submits")
+    p.add_argument("--seed", type=int, default=0, help="default seed")
+    p.add_argument("--window-ns", type=float, default=100_000.0,
+                   help="control window: commands apply at these boundaries")
+    p.add_argument("--snapshot-dir", default="service-snapshots",
+                   help="where snapshot/restore persist session state")
+    p.add_argument("--restore", default=None, metavar="SNAPSHOT",
+                   help="replay this snapshot before serving")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="run epochs without a metrics hub")
+    p.add_argument("--cold", action="store_true",
+                   help="disable warm-start templates for epoch bring-up")
+    p.set_defaults(fn=_cmd_daemon)
+
+    p = sub.add_parser(
+        "client",
+        help="speak the daemon protocol: ping, submit, status, drain, ...",
+    )
+    p.add_argument("command",
+                   choices=("ping", "status", "submit", "step", "run",
+                            "report", "metrics", "events", "reconfigure",
+                            "chaos", "snapshot", "restore", "drain",
+                            "shutdown", "script"),
+                   help="protocol command (script: run a .jsonl frame file)")
+    p.add_argument("args", nargs="?", default=None,
+                   help="JSON object of command arguments "
+                        "(script: path to the .jsonl file)")
+    p.add_argument("--socket", default="repro.sock", metavar="PATH",
+                   help="daemon unix socket (default: repro.sock)")
+    p.add_argument("--http", type=int, default=None, metavar="PORT",
+                   help="talk HTTP POST /rpc instead of the unix socket")
+    p.add_argument("--host", default="127.0.0.1", help="HTTP host")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="transport timeout in seconds")
+    p.add_argument("--out", default=None,
+                   help="write a reply's report/metrics payload here "
+                        "(byte-identical to batch-mode files)")
+    p.set_defaults(fn=_cmd_client)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # a long bench/serve/chaos run interrupted at the terminal: one
+        # clean line and the conventional 128+SIGINT exit code, never a
+        # traceback (the daemon converts SIGINT into a drain before this)
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

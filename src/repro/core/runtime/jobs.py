@@ -227,6 +227,8 @@ class JobManager:
         self._ids = itertools.count(1)  # 0 is the legacy/default tenant
         self._active = 0
         self._wakeup = Signal(self.sim)
+        self._draining = False
+        self._drain_signal: Optional[Signal] = None
 
     # ------------------------------------------------------------------
     # submission
@@ -260,6 +262,10 @@ class JobManager:
         """
         if priority < 1:
             raise ValueError(f"priority must be >= 1, got {priority}")
+        if self._draining:
+            raise RuntimeError(
+                "JobManager is draining; no new jobs are admitted"
+            )
         done_indices = frozenset(completed or ())
         if done_indices and (min(done_indices) < 0 or max(done_indices) >= len(graph.tasks)):
             raise ValueError("completed indices out of range for this graph")
@@ -366,8 +372,54 @@ class JobManager:
             job.on_done()
         job.done.succeed(job)
         self._active -= 1
-        if self._active == 0 and self.auto_stop:
-            engine.stop()
+        if self._active == 0:
+            if self._drain_signal is not None:
+                signal, self._drain_signal = self._drain_signal, None
+                signal.succeed(self)
+            if self.auto_stop:
+                engine.stop()
+
+    # ------------------------------------------------------------------
+    # drain barrier
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def active_jobs(self) -> int:
+        return self._active
+
+    def drain(self) -> Signal:
+        """Stop admitting jobs; the returned Signal fires once the last
+        in-flight job completes (immediately if the machine is idle).
+
+        The quiesce barrier the service daemon's ``drain``/``shutdown``
+        commands ride: submitted work finishes, new work is refused with
+        a ``RuntimeError``.  Calling :meth:`drain` again returns a fresh
+        signal honouring the same barrier.
+        """
+        self._draining = True
+        signal = Signal(self.sim)
+        if self._active == 0:
+            signal.succeed(self)
+            return signal
+        if self._drain_signal is None:
+            self._drain_signal = signal
+            return signal
+        # chain: both callers' signals fire at the barrier
+        prior = self._drain_signal
+
+        def relay() -> Generator:
+            yield prior
+            signal.succeed(self)
+
+        spawn(self.sim, relay(), name="jobs.drain")
+        return signal
+
+    def resume_admission(self) -> None:
+        """Lift a drain barrier (a drained daemon accepting new epochs)."""
+        self._draining = False
 
     def _layer_driver(self, job: JobHandle) -> Generator:
         """Dispatch layer by layer, honouring DAG dependences by barrier."""

@@ -1,0 +1,169 @@
+"""Shared batch-experiment harnesses and machine warm-start plumbing.
+
+Historically each CLI command hand-built its machine inline; the service
+daemon (``repro.service``) needs to build the *same* machines from the
+same seeds so a scripted daemon session stays byte-identical to the
+batch run.  This module is the single home for that construction:
+
+- :func:`build_jobs_machine` / :func:`run_jobs_experiment` -- the
+  multi-job batch harness (``python -m repro jobs``) as a library call.
+- :func:`resolve_warm_start` -- turns a ``warm_start`` argument (bool or
+  path to a saved machine snapshot) into a primed template cache, so
+  repeated experiments on one topology skip the expensive bring-up.
+
+Warm starts ride the shard layer's :class:`~repro.shard.bringup.NodeTemplate`
+machinery: templated builds are bit-identical to cold ones, so a warm
+experiment's canonical report matches the cold report byte for byte.
+A snapshot path additionally pins *which* topology was prebuilt; passing
+a snapshot taken on a different node preset is an error, not a silent
+cold build.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Union
+
+from repro.core.runtime.report import MachineReport
+
+WarmStart = Union[bool, str]
+
+
+def resolve_warm_start(warm_start: WarmStart, node: str) -> bool:
+    """Normalize a ``warm_start`` argument against node preset ``node``.
+
+    ``False``/``True`` pass through.  A string is a path to a snapshot
+    saved by the service daemon (or the checkpoint subsystem); its
+    ``workload`` block must name the same node preset, and resolving it
+    primes the process-wide template cache for that shape so the caller's
+    build is warm.  Returns whether the build should use templates.
+    """
+    if isinstance(warm_start, bool):
+        if warm_start:
+            _prime_template(node)
+        return warm_start
+    with open(warm_start, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    workload = payload.get("workload") or {}
+    nodes = set(workload.get("nodes") or [])
+    if workload.get("node"):
+        nodes.add(workload["node"])
+    if not nodes:
+        raise ValueError(
+            f"snapshot {warm_start!r} records no node preset; "
+            "cannot use it as a warm-start token"
+        )
+    if node not in nodes:
+        known = ", ".join(sorted(nodes))
+        raise ValueError(
+            f"snapshot {warm_start!r} was taken on node preset(s) {known}; "
+            f"refusing to warm-start a {node!r} build from it"
+        )
+    _prime_template(node)
+    return True
+
+
+def _prime_template(node: str) -> None:
+    """Warm the shared template cache for one node preset's shape."""
+    from repro.presets import node_preset
+    from repro.shard.bringup import shared_template_cache
+
+    shared_template_cache().get(node_preset(node))
+
+
+def build_jobs_machine(
+    preset: str,
+    seed: int = 0,
+    telemetry=None,
+    fault_tolerance=None,
+    warm_start: WarmStart = False,
+    max_variants: int = 1,
+    submit_mix: bool = True,
+):
+    """Build the ``python -m repro jobs`` machine for one preset.
+
+    Returns the :class:`~repro.core.runtime.jobs.JobManager` owning a
+    fresh machine with the preset's job mix submitted (unless
+    ``submit_mix=False``, which leaves the manager empty for a service
+    session to feed).  Construction order matches the historical CLI
+    inline build exactly, so reports stay byte-identical.
+    """
+    from repro.core.runtime import ExecutionEngine, JobManager
+    from repro.presets import build_preset_node, compiled_suite, job_preset
+    from repro.sim import Simulator
+
+    mix = job_preset(preset)
+    warm = resolve_warm_start(warm_start, mix.node)
+    registry, library = compiled_suite(max_variants=max_variants)
+    sim = Simulator()
+    if callable(telemetry):
+        # factory (sim -> hub): the service daemon attaches one per epoch
+        telemetry = telemetry(sim)
+    node = build_preset_node(sim, mix.node, warm=warm)
+    engine = ExecutionEngine(
+        node,
+        registry,
+        library,
+        use_daemon=True,
+        daemon_period_ns=100_000.0,
+        telemetry=telemetry,
+        fault_tolerance=fault_tolerance,
+    )
+    manager = JobManager(engine)
+    if submit_mix:
+        submit_job_mix(manager, mix, seed)
+    return manager, mix
+
+
+def submit_job_mix(manager, mix, seed: int) -> list:
+    """Submit every job of ``mix`` onto ``manager`` (CLI-identical)."""
+    from repro.apps import make_layered_dag
+
+    handles = []
+    node = manager.engine.node
+    for spec in mix.jobs:
+        graph = make_layered_dag(
+            layers=spec.layers,
+            width=spec.width,
+            num_workers=len(node),
+            functions=("saxpy", "stencil5", "montecarlo"),
+            seed=spec.graph_seed + seed,
+        )
+        handles.append(
+            manager.submit_job(
+                graph,
+                policy=spec.policy,
+                priority=spec.priority,
+                dataflow=spec.dataflow,
+            )
+        )
+    return handles
+
+
+def run_jobs_experiment(
+    preset: str,
+    seed: int = 0,
+    telemetry=None,
+    fault_tolerance=None,
+    warm_start: WarmStart = False,
+) -> MachineReport:
+    """Run one job-mix preset end to end and return its MachineReport."""
+    manager, _ = build_jobs_machine(
+        preset,
+        seed=seed,
+        telemetry=telemetry,
+        fault_tolerance=fault_tolerance,
+        warm_start=warm_start,
+    )
+    return manager.run()
+
+
+def experiment_summary(report: MachineReport) -> Dict[str, Any]:
+    """The handful of headline numbers shared by CLI and daemon status."""
+    return {
+        "makespan_ns": report.makespan_ns,
+        "tasks": report.tasks,
+        "jobs": len(report.jobs),
+        "energy_pj": report.energy_pj,
+        "tasks_unrecovered": report.tasks_unrecovered,
+    }

@@ -229,6 +229,42 @@ def bench_exascale_build(quick: bool) -> int:
     return events
 
 
+def bench_exascale_build_warm(quick: bool) -> int:
+    """The exascale sweep's node bring-up through the warm-start path.
+
+    Same node shapes as :func:`bench_exascale_build`, but every Compute
+    Node is stamped from a :class:`~repro.shard.bringup.NodeTemplate`
+    via a fresh cache: the first node of each shape pays template
+    construction, the rest reuse it.  Compared against
+    ``machine.exascale_build`` this is the headline for what
+    ``--warm-start`` buys on construction-dominated work (templated
+    builds are bit-identical to cold ones, so the speedup is free).
+    """
+    from repro.core import ComputeNodeParams
+    from repro.shard.bringup import TemplateCache, build_node
+    from repro.sim import Simulator
+
+    configs: List[Tuple[int, Optional[List[int]], int, Optional[int]]] = [
+        (1, None, 4, None),
+        (4, [4], 4, None),
+        (16, [4, 4], 8, 4),
+        (64, [4, 4, 4], 8, 4),
+    ]
+    if quick:
+        configs = configs[:3]
+    workers = 0
+    for nodes, _fanouts, wpn, intra in configs:
+        # fresh cache per config: measures template amortization within
+        # one build, not leakage across benchmark iterations
+        cache = TemplateCache()
+        params = ComputeNodeParams(num_workers=wpn, intra_fanout=intra)
+        for node_id in range(nodes):
+            sim = Simulator()
+            node = build_node(sim, params, node_id, cache=cache)
+            workers += len(node)
+    return workers
+
+
 def make_bench_sharded_build(partitions: int) -> Callable[[bool], int]:
     """The exascale sweep through the sharded engine at one shard count.
 
@@ -286,6 +322,7 @@ BENCHMARKS: Dict[str, Callable[[bool], int]] = {
     "serving.steady": bench_serving_steady,
     "serving.steady.traced": bench_serving_steady_traced,
     "machine.exascale_build": bench_exascale_build,
+    "machine.exascale_build.warm": bench_exascale_build_warm,
 }
 
 

@@ -110,6 +110,26 @@ def node_preset(name: str) -> ComputeNodeParams:
     return NODE_PRESETS[name]()
 
 
+def build_preset_node(sim, name: str, warm: bool = False, node_id: int = 0):
+    """Build the Compute Node for one preset, optionally warm-started.
+
+    ``warm=True`` routes bring-up through the shard layer's process-wide
+    :class:`~repro.shard.bringup.TemplateCache`: the pure-function parts
+    of bring-up (tile grid, region budget, NUMA distances, routes) are
+    computed once per node shape and shared, so repeated experiments on
+    the same topology skip the expensive part.  Templated builds are
+    bit-identical to cold ones, so warm starts never change reports.
+    """
+    params = node_preset(name)
+    if warm:
+        from repro.shard.bringup import build_node, shared_template_cache
+
+        return build_node(sim, params, node_id=node_id, cache=shared_template_cache())
+    from repro.core import ComputeNode
+
+    return ComputeNode(sim, params, node_id=node_id)
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One tenant job of a multi-job scenario."""

@@ -1,0 +1,135 @@
+"""A small synchronous client for the service daemon's protocol.
+
+``python -m repro client <cmd>`` rides this, as do the tests and the CI
+``daemon-smoke`` job -- nobody hand-rolls socket code.  Two transports:
+
+- unix socket (``ServiceClient(socket_path=...)``): NDJSON frames over
+  one persistent connection, replies strictly in request order.
+- HTTP (``ServiceClient(host=..., port=...)``): each request is a
+  ``POST /rpc`` with the frame as the JSON body (one connection per
+  request; fine for scripting, the socket is the fast path).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.service.protocol import decode_frame, encode_frame
+
+
+class ServiceClientError(RuntimeError):
+    """Transport-level failure (cannot connect, daemon hung up)."""
+
+
+class ServiceClient:
+    """Speak the daemon protocol from synchronous code."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if socket_path is None and port is None:
+            raise ValueError("need a socket_path or an http host/port")
+        self.socket_path = socket_path
+        self.host = host or "127.0.0.1"
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServiceClientError(
+                f"cannot connect to daemon at {self.socket_path!r}: {exc}"
+            )
+        self._sock = sock
+        self._fh = sock.makefile("rb")
+
+    def request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one command frame, wait for its reply frame."""
+        decode_frame(json.dumps(frame))  # fail fast on malformed frames
+        if self.socket_path is not None:
+            return self._request_socket(frame)
+        return self._request_http(frame)
+
+    def command(self, cmd: str, **args: Any) -> Dict[str, Any]:
+        frame = {"cmd": cmd}
+        frame.update(args)
+        return self.request(frame)
+
+    def _request_socket(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        self._connect()
+        try:
+            self._sock.sendall(encode_frame(frame))
+            line = self._fh.readline()
+        except OSError as exc:
+            raise ServiceClientError(f"daemon connection failed: {exc}")
+        if not line:
+            raise ServiceClientError("daemon hung up without replying")
+        return json.loads(line)
+
+    def _request_http(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        import http.client
+
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = json.dumps(frame).encode("utf-8")
+            conn.request(
+                "POST", "/rpc", body=body, headers={"Content-Type": "application/json"}
+            )
+            resp = conn.getresponse()
+            payload = resp.read()
+        except OSError as exc:
+            raise ServiceClientError(
+                f"cannot reach daemon at http://{self.host}:{self.port}: {exc}"
+            )
+        finally:
+            conn.close()
+        try:
+            return json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ServiceClientError(f"daemon sent a non-JSON reply: {exc}")
+
+    # ------------------------------------------------------------------
+    def script(self, frames: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Run a fixed command sequence, collecting replies in order.
+
+        Stops early after a ``shutdown`` reply (the daemon is gone) but
+        not on error replies -- scripted sessions assert on the replies
+        themselves.
+        """
+        replies: List[Dict[str, Any]] = []
+        for frame in frames:
+            reply = self.request(frame)
+            replies.append(reply)
+            if frame.get("cmd") == "shutdown" and reply.get("ok"):
+                break
+        return replies

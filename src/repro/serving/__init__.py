@@ -31,6 +31,7 @@ from repro.serving.brownout import BROWNOUT, BrownoutController, BrownoutPolicy
 from repro.serving.gateway import (
     ServingGateway,
     ServingReport,
+    build_serving_gateway,
     run_serving_experiment,
 )
 from repro.serving.requests import Request, shape_class
@@ -70,6 +71,7 @@ __all__ = [
     "TraceConfig",
     "TraceContext",
     "arrival_process",
+    "build_serving_gateway",
     "run_serving_experiment",
     "shape_class",
 ]

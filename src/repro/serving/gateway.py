@@ -133,6 +133,7 @@ class ServingGateway:
         tracing: Optional[TraceConfig] = None,
         alerts: Optional[BurnRatePolicy] = None,
         brownout: Optional[BrownoutPolicy] = None,
+        spawn_arrivals: bool = True,
     ) -> None:
         self.engine = engine
         self.sim = engine.node.sim
@@ -221,7 +222,9 @@ class ServingGateway:
         self._request_ids = itertools.count()
         self._rr_worker = itertools.count()
         self._outstanding = 0
-        self._arrivals_open = len(scenario.tenants)
+        self._spawn_arrivals = spawn_arrivals
+        self._arrivals_open = len(scenario.tenants) if spawn_arrivals else 0
+        self._holds = 0
         self._autoscaler_proc = None
         self._started = False
         self._drained = False
@@ -301,6 +304,85 @@ class ServingGateway:
         if self._arrivals_open == 0:
             self.batcher.flush_all()
             self._maybe_drain()
+
+    # ------------------------------------------------------------------
+    # external control-plane interface (the service daemon's seam)
+    # ------------------------------------------------------------------
+    def hold_open(self) -> None:
+        """Keep the gateway from draining while an external injector owns it.
+
+        Each hold counts like one still-running arrival stream; the
+        gateway only drains once every hold is released *and* the normal
+        drain conditions are met.
+        """
+        self._holds += 1
+        self._arrivals_open += 1
+
+    def release_hold(self) -> None:
+        """Release one :meth:`hold_open`; may trigger the normal drain."""
+        if self._holds <= 0:
+            raise RuntimeError("release_hold() without a matching hold_open()")
+        self._holds -= 1
+        self.arrivals_finished("<hold>")
+
+    def inject_request(self, tenant: str, function: str, items: int) -> Request:
+        """Offer one externally-sourced request at the current sim time.
+
+        This is the daemon's ``submit kind=requests`` path: identical to
+        what an arrival process does, so an injected request and a
+        scenario-generated one are indistinguishable downstream.
+        """
+        request = Request(
+            request_id=self.next_request_id(),
+            tenant=tenant,
+            function=function,
+            items=items,
+            arrived_at=self.sim.now,
+        )
+        self.offer(request)
+        return request
+
+    def quiesced(self) -> bool:
+        """No queued/in-flight work and only holds keep the gateway open."""
+        if self._drained:
+            return True
+        return (
+            self._outstanding == 0
+            and self.batcher.pending() == 0
+            and self._arrivals_open == self._holds
+        )
+
+    def apply_scenario(self, scenario, scenario_name: str = "custom") -> Dict[str, Any]:
+        """Live preset swap: re-point every mutable serving knob.
+
+        Applied between windows by the service daemon.  Token buckets for
+        reconfigured tenants restart full (documented reconfigure
+        semantics); SLO statistics for existing tenants are preserved --
+        only the target changes.  Tenants absent from the new scenario
+        keep serving under their old spec until their streams drain.
+        """
+        applied: Dict[str, Any] = {
+            "scenario": scenario_name,
+            "max_batch": scenario.max_batch,
+            "max_wait_ns": scenario.max_wait_ns,
+            "tenants": sorted(t.name for t in scenario.tenants),
+        }
+        self.batcher.max_batch = scenario.max_batch
+        self.batcher.max_wait_ns = scenario.max_wait_ns
+        self.admission.max_backlog = scenario.max_backlog
+        self.autoscaler.period_ns = scenario.autoscaler_period_ns
+        self.autoscaler.scale_up_hotness = scenario.scale_up_hotness
+        self.autoscaler.max_replicas = scenario.max_replicas
+        self.autoscaler.cooldown_periods = scenario.cooldown_periods
+        for t in scenario.tenants:
+            self._specs[t.name] = t
+            existing = self.slo._tenants.get(t.name)
+            if existing is not None:
+                existing.slo_ns = t.slo_ns
+            else:
+                self.slo.configure_tenant(t.name, t.slo_ns)
+            self.admission.configure_tenant(t.name, t.admit_rate_rps, t.admit_burst)
+        return applied
 
     # ------------------------------------------------------------------
     # batcher-side interface
@@ -449,12 +531,13 @@ class ServingGateway:
             return
         self._started = True
         self.engine.start()
-        for spec in self.scenario.tenants:
-            spawn(
-                self.sim,
-                arrival_process(self, spec, self.seed),
-                name=f"serve.arrivals.{spec.name}",
-            )
+        if self._spawn_arrivals:
+            for spec in self.scenario.tenants:
+                spawn(
+                    self.sim,
+                    arrival_process(self, spec, self.seed),
+                    name=f"serve.arrivals.{spec.name}",
+                )
         self._autoscaler_proc = spawn(
             self.sim, self.autoscaler.run(), name="serve.autoscaler"
         )
@@ -536,6 +619,62 @@ class ServingGateway:
         )
 
 
+def build_serving_gateway(
+    preset: str = "steady",
+    seed: int = 0,
+    telemetry=None,
+    fault_tolerance=None,
+    max_variants: int = 2,
+    tracing: Optional[TraceConfig] = None,
+    alerts: Optional[BurnRatePolicy] = None,
+    brownout: Optional[BrownoutPolicy] = None,
+    warm_start=False,
+    spawn_arrivals: bool = True,
+) -> "ServingGateway":
+    """Build (but do not run) the serving machine for one preset.
+
+    The shared construction path for :func:`run_serving_experiment` and
+    the service daemon's serving epochs: same build order, same seeds,
+    so a daemon-built gateway is byte-identical to a batch one.
+    ``warm_start`` may be ``True`` or a saved-snapshot path (see
+    :func:`repro.experiments.resolve_warm_start`); templated bring-up is
+    bit-identical to cold, so warm never changes the report.
+    """
+    from repro.core.runtime.engine import ExecutionEngine
+    from repro.experiments import resolve_warm_start
+    from repro.presets import build_preset_node, compiled_suite, serving_preset
+    from repro.sim import Simulator
+
+    scenario = serving_preset(preset)
+    warm = resolve_warm_start(warm_start, scenario.node)
+    registry, library = compiled_suite(max_variants=max_variants)
+    sim = Simulator()
+    if callable(telemetry):
+        # the hub needs the simulator this builder creates: a factory
+        # (sim -> hub) lets the service daemon attach one per epoch
+        telemetry = telemetry(sim)
+    node = build_preset_node(sim, scenario.node, warm=warm)
+    engine = ExecutionEngine(
+        node,
+        registry,
+        library,
+        use_daemon=False,        # the autoscaler owns the Fig. 5 loop here
+        telemetry=telemetry,
+        fault_tolerance=fault_tolerance,
+    )
+    return ServingGateway(
+        engine,
+        scenario,
+        seed=seed,
+        scenario_name=preset,
+        telemetry=telemetry,
+        tracing=tracing,
+        alerts=alerts,
+        brownout=brownout,
+        spawn_arrivals=spawn_arrivals,
+    )
+
+
 def run_serving_experiment(
     preset: str = "steady",
     seed: int = 0,
@@ -547,6 +686,7 @@ def run_serving_experiment(
     alerts: Optional[BurnRatePolicy] = None,
     brownout: Optional[BrownoutPolicy] = None,
     domain_kill: Optional[Tuple[str, float, Optional[float]]] = None,
+    warm_start=False,
 ) -> ServingReport:
     """Build a machine for ``preset`` and serve it end to end.
 
@@ -560,35 +700,23 @@ def run_serving_experiment(
     ``alerts`` / ``brownout`` opt the run into request-scoped causal
     tracing, burn-rate alerting and degraded-mode serving (extra report
     blocks; the canonical report without them is byte-identical to a
-    plain run).
+    plain run).  ``warm_start`` skips bring-up via the template cache
+    (bool, or a saved-snapshot path pinning the topology).
     """
-    from repro.core import ComputeNode
-    from repro.core.runtime.engine import ExecutionEngine
-    from repro.presets import compiled_suite, node_preset, serving_preset
-    from repro.sim import Simulator
-
-    scenario = serving_preset(preset)
-    registry, library = compiled_suite(max_variants=max_variants)
-    sim = Simulator()
-    node = ComputeNode(sim, node_preset(scenario.node))
-    engine = ExecutionEngine(
-        node,
-        registry,
-        library,
-        use_daemon=False,        # the autoscaler owns the Fig. 5 loop here
+    gateway = build_serving_gateway(
+        preset,
+        seed=seed,
         telemetry=telemetry,
         fault_tolerance=fault_tolerance,
-    )
-    gateway = ServingGateway(
-        engine,
-        scenario,
-        seed=seed,
-        scenario_name=preset,
-        telemetry=telemetry,
+        max_variants=max_variants,
         tracing=tracing,
         alerts=alerts,
         brownout=brownout,
+        warm_start=warm_start,
     )
+    sim = gateway.sim
+    engine = gateway.engine
+    node = engine.node
     chaos_block: Dict[str, Any] = {}
     if crash is not None:
         from repro.chaos import ChaosController

@@ -33,6 +33,7 @@ from repro.telemetry.exporters import (
     chrome_trace,
     chrome_trace_json,
     events_json,
+    events_tail,
     metrics_snapshot,
     prometheus_text,
     snapshot_csv,
@@ -87,6 +88,7 @@ __all__ = [
     "chrome_trace",
     "chrome_trace_json",
     "events_json",
+    "events_tail",
     "histogram_percentile",
     "latency_summary",
     "mean",

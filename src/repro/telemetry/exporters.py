@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.telemetry.events import validate_event
 from repro.telemetry.hub import Telemetry
@@ -231,3 +231,32 @@ def events_json(hub: Telemetry, indent: Optional[int] = None) -> str:
     for d in dicts:
         validate_event(d)
     return json.dumps(dicts, indent=indent)
+
+
+def events_tail(hub: Telemetry, cursor: int = 0) -> Tuple[list, int]:
+    """Incremental event export: events emitted since ``cursor``.
+
+    ``cursor`` is the total emitted count from a previous call (start at
+    0).  Returns ``(new_event_dicts, next_cursor)``; events that fell
+    out of the ring between calls are simply absent, and ``next_cursor``
+    always reflects the hub's total so pollers converge.  This is the
+    service daemon's ``events`` command: metrics and events stream while
+    the simulation runs instead of only at end of run.
+    """
+    log = hub.events
+    total = log.emitted
+    if cursor >= total:
+        return [], total
+    missed = max(0, log.dropped - cursor)
+    fresh = total - max(cursor, log.dropped)
+    events = list(log)[len(log) - fresh:] if fresh else []
+    dicts = [e.to_dict() for e in events]
+    if missed:
+        # make loss visible rather than silently skipping the gap
+        dicts.insert(0, {
+            "ts": events[0].ts if events else 0.0,
+            "kind": "telemetry.events_lost",
+            "component": "telemetry.hub",
+            "attrs": {"lost": missed},
+        })
+    return dicts, total
